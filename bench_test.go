@@ -1,0 +1,157 @@
+package gnnmark
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gnnmark/internal/core"
+)
+
+// The repository-level benchmarks regenerate every table and figure of the
+// paper's evaluation. The suite characterization is shared across figure
+// benchmarks (one full training sweep feeds Figures 2-8, exactly as one
+// profiled run did in the paper); BenchmarkCharacterizeSuite measures that
+// sweep itself, and BenchmarkFig9 the multi-GPU study.
+
+var (
+	benchOnce  sync.Once
+	benchSuite *Suite
+	benchErr   error
+)
+
+func benchCfg() core.RunConfig {
+	return core.RunConfig{Epochs: 1, Seed: 1, SampledWarps: 512}
+}
+
+func sharedSuite(b *testing.B) *Suite {
+	b.Helper()
+	benchOnce.Do(func() { benchSuite, benchErr = Characterize(benchCfg()) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+func requireText(b *testing.B, text string, frags ...string) {
+	b.Helper()
+	for _, f := range frags {
+		if !strings.Contains(text, f) {
+			b.Fatalf("output missing %q", f)
+		}
+	}
+}
+
+// BenchmarkCharacterizeSuite measures the full-suite characterization sweep
+// that feeds Figures 2-8: training every workload on the simulated V100
+// with the profiler attached.
+func BenchmarkCharacterizeSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the suite inventory (Table I).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireText(b, Table1(), "PinSAGE", "Tree-LSTM", "PROTEINS")
+	}
+}
+
+// BenchmarkFig2 regenerates the execution-time breakdown (Figure 2).
+func BenchmarkFig2(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig2(), "GEMM", "ElementWise", "PSAGE(MVL)")
+	}
+}
+
+// BenchmarkFig3 regenerates the instruction mix (Figure 3).
+func BenchmarkFig3(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig3(), "int32", "fp32", "average")
+	}
+}
+
+// BenchmarkFig4 regenerates the GFLOPS/GIOPS rates (Figure 4).
+func BenchmarkFig4(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig4(), "GFLOPS", "IPC")
+	}
+}
+
+// BenchmarkFig5 regenerates the stall breakdown (Figure 5).
+func BenchmarkFig5(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig5(), "memdep", "ifetch", "per-operation")
+	}
+}
+
+// BenchmarkFig6 regenerates cache hit rates and divergence (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig6(), "L1", "divergent")
+	}
+}
+
+// BenchmarkFig7 regenerates the transfer-sparsity averages (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig7(), "sparsity", "est.compr")
+	}
+}
+
+// BenchmarkFig8 regenerates the sparsity-over-iterations series (Figure 8).
+func BenchmarkFig8(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireText(b, s.Fig8(), "iterations")
+	}
+}
+
+// BenchmarkFig9 regenerates the multi-GPU strong-scaling study (Figure 9):
+// each iteration re-runs the 7-workload x {1,2,4}-GPU DDP simulation.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Fig9(core.RunConfig{Seed: 1, SampledWarps: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requireText(b, FormatFig9(res), "PSAGE", "replicated", "ARGA excluded")
+	}
+}
+
+// BenchmarkWorkloadEpoch measures one training epoch of each workload on
+// the simulated device (the per-workload cost behind the figures).
+func BenchmarkWorkloadEpoch(b *testing.B) {
+	for _, sr := range core.DefaultSuite() {
+		sr := sr
+		label := sr.Workload
+		if sr.Workload == "PSAGE" {
+			label = sr.Workload + "_" + sr.Dataset
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg()
+				cfg.Workload, cfg.Dataset = sr.Workload, sr.Dataset
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

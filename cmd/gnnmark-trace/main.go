@@ -1,0 +1,76 @@
+// Command gnnmark-trace prints a per-kernel-name time breakdown for one
+// workload's training epoch: the tool used to calibrate the kernel recipes
+// against the paper's figures, kept for model debugging.
+//
+// Usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|ARGA|TLSTM>
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: gnnmark-trace <workload>")
+		os.Exit(2)
+	}
+	cfg := gpu.V100()
+	cfg.MaxSampledWarps = 2048
+	dev := gpu.New(cfg)
+	times := map[string]float64{}
+	counts := map[string]int{}
+	dev.Subscribe(func(ks gpu.KernelStats) {
+		key := fmt.Sprintf("%-12s %s", ks.Class, ks.Name)
+		times[key] += ks.Seconds
+		counts[key]++
+	})
+	env := models.NewEnv(ops.New(dev), 1)
+	var w models.Workload
+	switch os.Args[1] {
+	case "STGCN":
+		w = models.NewSTGCN(env, datasets.METRLA(env.RNG), models.STGCNConfig{})
+	case "PSAGE":
+		w = models.NewPSAGE(env, datasets.MovieLens(env.RNG), models.PSAGEConfig{})
+	case "GW":
+		w = models.NewGW(env, datasets.AGENDA(env.RNG), models.GWConfig{})
+	case "KGNNL":
+		w = models.NewKGNN(env, datasets.Proteins(env.RNG), models.KGNNConfig{K: 2})
+	case "ARGA":
+		w = models.NewARGA(env, datasets.NewCitation(env.RNG, "cora"), models.ARGAConfig{})
+	case "DGCN":
+		w = models.NewDGCN(env, datasets.MolHIV(env.RNG), models.DGCNConfig{})
+	case "TLSTM":
+		w = models.NewTLSTM(env, datasets.SST(env.RNG), models.TLSTMConfig{})
+	default:
+		fmt.Fprintln(os.Stderr, "gnnmark-trace: unknown workload", os.Args[1])
+		os.Exit(2)
+	}
+	// Ignore construction-time kernels; trace one training epoch.
+	for k := range times {
+		delete(times, k)
+		delete(counts, k)
+	}
+	w.TrainEpoch()
+
+	type kv struct {
+		k string
+		v float64
+	}
+	var list []kv
+	var tot float64
+	for k, v := range times {
+		list = append(list, kv{k, v})
+		tot += v
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].v > list[j].v })
+	for _, e := range list {
+		fmt.Printf("%7.2f%% %9.1fus n=%-5d %s\n", 100*e.v/tot, 1e6*e.v, counts[e.k], e.k)
+	}
+}

@@ -1,0 +1,297 @@
+// Command gnnmark runs the GNNMark suite reproduction: it trains the eight
+// GNN workloads on a simulated V100, collects the paper's characterization
+// metrics, and prints every table and figure of the evaluation.
+//
+// Usage:
+//
+//	gnnmark table1
+//	gnnmark fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9 [flags]
+//	gnnmark run -workload PSAGE -dataset NWP [flags]
+//	gnnmark all [flags]
+//	gnnmark ablate-fp16 [flags]
+//
+// Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
+// is faster), -workload KEY, -dataset NAME.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnnmark/internal/bench"
+	"gnnmark/internal/core"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/report"
+	"gnnmark/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	epochs := fs.Int("epochs", 3, "training epochs per workload")
+	seed := fs.Int64("seed", 1, "random seed")
+	warps := fs.Int("warps", 4096, "max sampled warps per kernel (model fidelity/speed)")
+	workload := fs.String("workload", "ARGA", "workload key (run command)")
+	dataset := fs.String("dataset", "", "dataset name (run command; empty = default)")
+	gpuName := fs.String("gpu", "v100", "device preset: v100, p100, a100")
+	target := fs.Float64("target", 0.5, "loss target for the ttt command")
+	sweepKey := fs.String("sweep", "DGCN/layers", "sweep key: WORKLOAD/param (sweep command)")
+	sweepVals := fs.String("values", "4,14,28", "comma-separated sweep values")
+	traceOut := fs.String("trace", "", "write a chrome://tracing timeline to this file (run command)")
+	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName}
+
+	switch cmd {
+	case "table1":
+		fmt.Print(bench.Table1())
+	case "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8":
+		s := characterize(cfg)
+		fmt.Print(figure(s, cmd))
+	case "fig9":
+		res, err := bench.Fig9(cfg)
+		fail(err)
+		fmt.Print(bench.FormatFig9(res))
+	case "run":
+		cfg.Workload = *workload
+		cfg.Dataset = *dataset
+		if *traceOut != "" {
+			runWithTrace(cfg, *traceOut)
+			return
+		}
+		r, err := core.Run(cfg)
+		fail(err)
+		fmt.Printf("%s on %s: %d params, losses %v\n", r.Workload, r.Dataset, r.ParamCount, r.Losses)
+		fmt.Printf("epoch seconds (simulated): %v\n", r.EpochSeconds)
+		fmt.Print(r.Report.String())
+	case "all":
+		fmt.Print(bench.Table1())
+		fmt.Println()
+		s := characterize(cfg)
+		for _, f := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"} {
+			fmt.Print(figure(s, f))
+			fmt.Println()
+		}
+		res, err := bench.Fig9(cfg)
+		fail(err)
+		fmt.Print(bench.FormatFig9(res))
+	case "ablate-fp16":
+		ablateFP16(cfg)
+	case "ablate-l1bypass":
+		ablateL1Bypass(cfg)
+	case "infer":
+		cfg.Workload = *workload
+		cfg.Dataset = *dataset
+		train, inf, err := bench.InferenceContrast(cfg)
+		fail(err)
+		fmt.Print(bench.FormatInference(*workload, train, inf))
+	case "dnn-contrast":
+		s := characterize(cfg)
+		fmt.Print(bench.FormatContrast(s, bench.DNNBaseline(cfg)))
+	case "gpucompare":
+		cfg.Workload = *workload
+		reports, err := bench.GPUCompare(cfg)
+		fail(err)
+		fmt.Print(bench.FormatGPUCompare(*workload, reports))
+	case "datasets":
+		fmt.Print(bench.DatasetInventory(*seed))
+	case "params":
+		fmt.Print(bench.ModelInventory(*seed))
+	case "report":
+		s := characterize(cfg)
+		res, err := bench.Fig9(cfg)
+		fail(err)
+		out := *traceOut
+		if out == "" {
+			out = "gnnmark-report.html"
+		}
+		f, err := os.Create(out)
+		fail(err)
+		defer f.Close()
+		fail(report.WriteHTML(f, s, res))
+		fmt.Println("wrote", out)
+	case "partitioned":
+		res, err := bench.PartitionedARGA(cfg)
+		fail(err)
+		fmt.Print(bench.FormatPartitioned(res))
+	case "sweep":
+		var vals []int
+		for _, f := range strings.Split(*sweepVals, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			fail(err)
+			vals = append(vals, v)
+		}
+		points, err := bench.Sweep(*sweepKey, vals, cfg)
+		fail(err)
+		fmt.Print(bench.FormatSweep(*sweepKey, points))
+	case "roofline":
+		cfg.Workload = *workload
+		cfg.Dataset = *dataset
+		r, err := core.Run(cfg)
+		fail(err)
+		devCfg, err := gpu.Preset(*gpuName)
+		fail(err)
+		fmt.Print(bench.FormatRoofline(r.Label(), bench.Roofline(r, devCfg), devCfg))
+	case "ttt":
+		cfg.Workload = *workload
+		cfg.Dataset = *dataset
+		res, err := core.TimeToTrain(cfg, *target, *maxEpochs)
+		fail(err)
+		status := "converged"
+		if !res.Converged {
+			status = "cutoff"
+		}
+		fmt.Printf("%s time-to-train(loss<=%.3f): %d epochs, %.3f ms simulated GPU time (%s)\n",
+			res.Workload, res.TargetLoss, res.Epochs, 1e3*res.SimSeconds, status)
+		fmt.Printf("loss curve: %.4v\n", res.LossCurve)
+	case "weakscale":
+		res, err := bench.WeakScaling(*workload, cfg)
+		fail(err)
+		fmt.Print(bench.FormatWeakScaling(*workload, res))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// ablateL1Bypass compares every workload with and without the L1 data
+// cache: the paper's suggested bypass mitigation.
+func ablateL1Bypass(cfg core.RunConfig) {
+	fmt.Println("L1-bypass ablation: simulated kernel seconds per run")
+	fmt.Printf("%-12s %12s %12s %10s\n", "workload", "with L1", "bypassed", "delta")
+	for _, sr := range core.DefaultSuite() {
+		c := cfg
+		c.Workload, c.Dataset = sr.Workload, sr.Dataset
+		normal, bypassed, err := bench.L1BypassAblation(c)
+		fail(err)
+		fmt.Printf("%-12s %12.5f %12.5f %+9.1f%%\n", labelOf(sr), normal, bypassed,
+			100*(bypassed-normal)/normal)
+	}
+}
+
+// runWithTrace characterizes one workload while recording the kernel
+// timeline, then writes it in the Chrome trace-event format.
+func runWithTrace(cfg core.RunConfig, path string) {
+	spec, err := core.Lookup(cfg.Workload)
+	fail(err)
+	devCfg, err := gpu.Preset(cfg.GPU)
+	fail(err)
+	if cfg.SampledWarps > 0 {
+		devCfg.MaxSampledWarps = cfg.SampledWarps
+	}
+	dev := gpu.New(devCfg)
+	rec := trace.Attach(dev, 0)
+	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = spec.Datasets[0]
+	}
+	w := spec.Build(env, dataset, 1)
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		w.TrainEpoch()
+	}
+	f, err := os.Create(path)
+	fail(err)
+	defer f.Close()
+	fail(rec.WriteJSON(f))
+	fmt.Printf("%s: wrote %d timeline events to %s (open in chrome://tracing)\n",
+		spec.Key, rec.Len(), path)
+}
+
+func labelOf(sr core.SuiteRun) string {
+	if sr.Workload == "PSAGE" {
+		return sr.Workload + "(" + sr.Dataset + ")"
+	}
+	return sr.Workload
+}
+
+func characterize(cfg core.RunConfig) *bench.Suite {
+	s, err := bench.Characterize(cfg)
+	fail(err)
+	return s
+}
+
+func figure(s *bench.Suite, name string) string {
+	switch name {
+	case "fig2":
+		return s.Fig2()
+	case "fig3":
+		return s.Fig3()
+	case "fig4":
+		return s.Fig4()
+	case "fig5":
+		return s.Fig5()
+	case "fig6":
+		return s.Fig6()
+	case "fig7":
+		return s.Fig7()
+	case "fig8":
+		return s.Fig8()
+	}
+	panic("unknown figure " + name)
+}
+
+// ablateFP16 compares fp32 and fp16 storage modes per workload: the paper's
+// half-precision future-work item.
+func ablateFP16(cfg core.RunConfig) {
+	fmt.Println("fp16 ablation: simulated kernel seconds per epoch (fp32 vs fp16)")
+	fmt.Printf("%-12s %12s %12s %8s\n", "workload", "fp32 (s)", "fp16 (s)", "speedup")
+	for _, sr := range core.DefaultSuite() {
+		c := cfg
+		c.Workload, c.Dataset = sr.Workload, sr.Dataset
+		base, err := core.Run(c)
+		fail(err)
+		c.HalfPrecision = true
+		half, err := core.Run(c)
+		fail(err)
+		b := base.Report.KernelSeconds
+		h := half.Report.KernelSeconds
+		fmt.Printf("%-12s %12.5f %12.5f %7.2fx\n", base.Label(), b, h, b/h)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gnnmark <command> [flags]
+commands:
+  table1       print the suite inventory (Table I)
+  fig2..fig8   regenerate one figure of the paper
+  fig9         multi-GPU strong-scaling study
+  run          characterize one workload (-workload, -dataset)
+  all          everything
+  infer            training-vs-inference op-mix contrast (-workload)
+  dnn-contrast     GNN suite vs conventional-CNN baseline
+  weakscale        fixed-per-GPU-batch scaling study (-workload)
+  ablate-fp16      half-precision storage ablation
+  ablate-l1bypass  L1 cache bypass ablation
+  gpucompare       characterize one workload on P100/V100/A100 (-workload)
+  ttt              MLPerf-style time-to-train (-workload, -target, -max-epochs)
+  roofline         per-operation roofline placement (-workload, -gpu)
+  sweep            hyperparameter sweep (-sweep WORKLOAD/param -values a,b,c)
+  partitioned      ROC-style partitioned full-graph ARGA scaling what-if
+  report           write the full characterization as an HTML page (-trace sets the path)
+  datasets         structural statistics of every synthetic dataset
+  params           per-workload parameter and iteration counts
+flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME`)
+}

@@ -1,0 +1,92 @@
+// Custom data: run a GNNMark workload on your own graph files.
+//
+// The suite's synthetic generators can be replaced by plain-text files —
+// an edge list, a dense feature table, and a label column — so the
+// characterization pipeline runs on real datasets you have on disk. This
+// example writes a small graph in that format, loads it back, and trains
+// ARGA on it with the profiler attached.
+//
+//	go run ./examples/customdata
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gnnmark-custom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Write a ring-of-cliques graph in the three-file layout.
+	const n, cliques = 120, 8
+	rng := rand.New(rand.NewSource(17))
+	var edges, feats, labels strings.Builder
+	per := n / cliques
+	for c := 0; c < cliques; c++ {
+		base := c * per
+		for i := 0; i < per; i++ {
+			for j := i + 1; j < per; j++ {
+				fmt.Fprintf(&edges, "%d %d\n%d %d\n", base+i, base+j, base+j, base+i)
+			}
+		}
+		next := ((c + 1) % cliques) * per
+		fmt.Fprintf(&edges, "%d %d\n%d %d\n", base, next, next, base)
+	}
+	for i := 0; i < n; i++ {
+		for f := 0; f < 32; f++ {
+			if rng.Float64() < 0.1 {
+				fmt.Fprintf(&feats, "%.2f ", rng.Float64())
+			} else {
+				feats.WriteString("0 ")
+			}
+		}
+		feats.WriteString("\n")
+		fmt.Fprintf(&labels, "%d\n", (i/per)%4)
+	}
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	edgePath := write("edges.txt", edges.String())
+	featPath := write("features.txt", feats.String())
+	labelPath := write("labels.txt", labels.String())
+
+	ds, err := datasets.LoadCitationFiles("ring-of-cliques", edgePath, featPath, labelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %q: %d nodes, %d edges, %d-dim features (%.0f%% sparse), %d classes\n",
+		ds.Name, ds.Adj.Rows, ds.Adj.NNZ(), ds.Features.Dim(1),
+		100*ds.Features.ZeroFraction(), ds.NumClasses)
+
+	dev := gpu.New(gpu.V100())
+	prof := profiler.Attach(dev)
+	env := models.NewEnv(ops.New(dev), 17)
+	env.OnIteration = prof.NextIteration
+
+	model := models.NewARGA(env, ds, models.ARGAConfig{})
+	prof.Reset()
+	for epoch := 0; epoch < 4; epoch++ {
+		loss := model.TrainEpoch()
+		fmt.Printf("epoch %d: loss %.4f\n", epoch+1, loss)
+	}
+	fmt.Println()
+	fmt.Print(prof.Snapshot().String())
+}

@@ -1,0 +1,39 @@
+// Quickstart: characterize one GNNMark workload in a few lines.
+//
+// Trains the ARGA graph autoencoder on a Cora-like citation graph on the
+// simulated V100, then prints the training losses and the full nvprof-style
+// characterization report (operation breakdown, instruction mix, cache and
+// stall behavior, transfer sparsity).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnnmark/internal/core"
+)
+
+func main() {
+	res, err := core.Run(core.RunConfig{
+		Workload: "ARGA",
+		Dataset:  "cora",
+		Epochs:   4,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on %s (%d trainable parameters)\n",
+		res.Workload, res.Dataset, res.ParamCount)
+	fmt.Println("training losses per epoch (the model genuinely learns):")
+	for i, l := range res.Losses {
+		fmt.Printf("  epoch %d: loss %.4f  (%.3f ms simulated GPU time)\n",
+			i+1, l, 1e3*res.EpochSeconds[i])
+	}
+	fmt.Println()
+	fmt.Println("characterization report:")
+	fmt.Print(res.Report.String())
+}

@@ -1,0 +1,62 @@
+// Recommendation with PinSAGE on a MovieLens-like bipartite graph.
+//
+// Demonstrates the paper's dataset-dependence finding: the same model
+// profiled on MVL (narrow features, sort-heavy sampling) and NWP (10x wider
+// features, element-wise-heavy) produces very different operation mixes —
+// and shows the random-walk sampler producing ranked neighbors.
+//
+//	go run ./examples/recsys
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+func main() {
+	// Peek at the sampler itself first: PinSAGE ranks neighbors by
+	// random-walk visit counts instead of using raw adjacency.
+	rng := rand.New(rand.NewSource(11))
+	mvl := datasets.MovieLens(rng)
+	sampler := graph.NewRandomWalkSampler(mvl.ItemUsers, mvl.UserItems, 48, 2, 5)
+	ns := sampler.Sample(rng, 10)
+	fmt.Printf("random-walk neighborhood of item 10: %v (weights %.2f)\n\n",
+		ns.Neighbors, ns.Weights)
+
+	for _, name := range []string{"MVL", "NWP"} {
+		dev := gpu.New(gpu.V100())
+		prof := profiler.Attach(dev)
+		env := models.NewEnv(ops.New(dev), 11)
+		env.OnIteration = prof.NextIteration
+
+		var ds *datasets.Bipartite
+		if name == "MVL" {
+			ds = datasets.MovieLens(env.RNG)
+		} else {
+			ds = datasets.NowPlaying(env.RNG)
+		}
+		model := models.NewPSAGE(env, ds, models.PSAGEConfig{Batches: 6})
+		prof.Reset()
+		dev.ResetClock()
+
+		var loss float64
+		for epoch := 0; epoch < 3; epoch++ {
+			loss = model.TrainEpoch()
+		}
+		r := prof.Snapshot()
+		fmt.Printf("%s: items=%d features=%d  final ranking loss %.4f\n",
+			name, ds.Items, ds.ItemFeatures.Dim(1), loss)
+		fmt.Printf("  sort %.1f%%  element-wise %.1f%%  H2D sparsity %.1f%%\n\n",
+			100*r.TimeShare[gpu.OpSort], 100*r.TimeShare[gpu.OpElementWise],
+			100*r.AvgSparsity)
+	}
+	fmt.Println("NWP's 10x feature width shifts time from sorting into " +
+		"element-wise work, exactly as the paper's Figure 2 reports.")
+}

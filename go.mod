@@ -1,0 +1,3 @@
+module gnnmark
+
+go 1.22

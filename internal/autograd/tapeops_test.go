@@ -1,0 +1,193 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnmark/internal/ops"
+	"gnnmark/internal/tensor"
+)
+
+// tapeOpGradCheck verifies one tape op's input gradient numerically.
+func tapeOpGradCheck(t *testing.T, name string, shape []int, apply func(tp *Tape, v *Var) *Var) {
+	t.Helper()
+	e := ops.New(nil)
+	rng := rand.New(rand.NewSource(31))
+	p := NewParam(name, tensor.Rand(rng, 1, shape...))
+	var wShape []int
+	run := func() (*Tape, *Var) {
+		tp := NewTape(e)
+		out := apply(tp, tp.FromParam(p))
+		if wShape == nil {
+			wShape = out.Value.Shape()
+		}
+		w := tensor.New(wShape...)
+		for i := range w.Data() {
+			w.Data()[i] = float32((i%7))*0.3 - 0.8
+		}
+		return tp, tp.MeanAll(tp.Mul(out, tp.Const(w)))
+	}
+	lossOnly := func() float64 { _, l := run(); return float64(l.Value.At(0)) }
+	analytic := func() *tensor.Tensor {
+		p.ZeroGrad()
+		tp, l := run()
+		tp.Backward(l)
+		return p.Grad
+	}
+	gradCheck(t, name, p, lossOnly, analytic, 3e-2)
+}
+
+func TestPermute4DGradient(t *testing.T) {
+	tapeOpGradCheck(t, "permute", []int{2, 3, 2, 2}, func(tp *Tape, v *Var) *Var {
+		return tp.Permute4D(v, [4]int{2, 0, 3, 1})
+	})
+}
+
+func TestSliceColsGradient(t *testing.T) {
+	tapeOpGradCheck(t, "slicecols", []int{3, 6}, func(tp *Tape, v *Var) *Var {
+		return tp.SliceCols(v, 1, 4)
+	})
+}
+
+func TestSliceRowsGradient(t *testing.T) {
+	tapeOpGradCheck(t, "slicerows", []int{5, 3}, func(tp *Tape, v *Var) *Var {
+		return tp.SliceRows(v, 1, 4)
+	})
+}
+
+func TestConcatRowsGradient(t *testing.T) {
+	tapeOpGradCheck(t, "concatrows", []int{3, 4}, func(tp *Tape, v *Var) *Var {
+		other := tp.Const(tensor.Full(0.5, 2, 4))
+		return tp.ConcatRows(v, other)
+	})
+}
+
+func TestConcatColsGradient(t *testing.T) {
+	tapeOpGradCheck(t, "concat", []int{3, 2}, func(tp *Tape, v *Var) *Var {
+		other := tp.Const(tensor.Full(0.5, 3, 3))
+		return tp.Concat(v, other)
+	})
+}
+
+func TestGLU4DGradient(t *testing.T) {
+	tapeOpGradCheck(t, "glu", []int{2, 4, 3, 2}, func(tp *Tape, v *Var) *Var {
+		return tp.GLU4D(v)
+	})
+}
+
+func TestBatchNorm2DGradient(t *testing.T) {
+	e := ops.New(nil)
+	rng := rand.New(rand.NewSource(32))
+	x := NewParam("x", tensor.Rand(rng, 1, 2, 3, 2, 2))
+	gamma := NewParam("gamma", tensor.Full(1.2, 3))
+	beta := NewParam("beta", tensor.New(3))
+	w := tensor.Rand(rng, 1, 2, 3, 2, 2)
+
+	run := func() (*Tape, *Var) {
+		tp := NewTape(e)
+		out := tp.BatchNorm2D(tp.FromParam(x), tp.FromParam(gamma), tp.FromParam(beta), 1e-5)
+		return tp, tp.MeanAll(tp.Mul(out, tp.Const(w)))
+	}
+	lossOnly := func() float64 { _, l := run(); return float64(l.Value.At(0)) }
+	mk := func(p *Param) func() *tensor.Tensor {
+		return func() *tensor.Tensor {
+			x.ZeroGrad()
+			gamma.ZeroGrad()
+			beta.ZeroGrad()
+			tp, l := run()
+			tp.Backward(l)
+			return p.Grad
+		}
+	}
+	gradCheck(t, "bn2d-x", x, lossOnly, mk(x), 5e-2)
+	gradCheck(t, "bn2d-gamma", gamma, lossOnly, mk(gamma), 5e-2)
+	gradCheck(t, "bn2d-beta", beta, lossOnly, mk(beta), 5e-2)
+}
+
+func TestAddChannelBiasGradient(t *testing.T) {
+	e := ops.New(nil)
+	rng := rand.New(rand.NewSource(33))
+	bias := NewParam("cbias", tensor.Rand(rng, 1, 3))
+	x := tensor.Rand(rng, 1, 2, 3, 2, 2)
+	w := tensor.Rand(rng, 1, 2, 3, 2, 2)
+
+	run := func() (*Tape, *Var) {
+		tp := NewTape(e)
+		out := tp.AddChannelBias(tp.Const(x), tp.FromParam(bias))
+		return tp, tp.MeanAll(tp.Mul(out, tp.Const(w)))
+	}
+	lossOnly := func() float64 { _, l := run(); return float64(l.Value.At(0)) }
+	analytic := func() *tensor.Tensor {
+		bias.ZeroGrad()
+		tp, l := run()
+		tp.Backward(l)
+		return bias.Grad
+	}
+	gradCheck(t, "channel-bias", bias, lossOnly, analytic, 2e-2)
+}
+
+func TestMaxMarginGradient(t *testing.T) {
+	e := ops.New(nil)
+	rng := rand.New(rand.NewSource(34))
+	pos := NewParam("pos", tensor.Rand(rng, 1, 6))
+	neg := tensor.Rand(rng, 1, 6)
+	// Move scores away from the hinge kink for stable finite differences.
+	for i := range pos.Value.Data() {
+		d := pos.Value.Data()[i] - neg.Data()[i] - 0.5
+		if d > -0.15 && d < 0.15 {
+			pos.Value.Data()[i] += 0.4
+		}
+	}
+	run := func() (*Tape, *Var) {
+		tp := NewTape(e)
+		return tp, tp.MaxMargin(tp.FromParam(pos), tp.Const(neg), 0.5)
+	}
+	lossOnly := func() float64 { _, l := run(); return float64(l.Value.At(0)) }
+	analytic := func() *tensor.Tensor {
+		pos.ZeroGrad()
+		tp, l := run()
+		tp.Backward(l)
+		return pos.Grad
+	}
+	gradCheck(t, "maxmargin", pos, lossOnly, analytic, 2e-2)
+}
+
+func TestSumColsGradient(t *testing.T) {
+	tapeOpGradCheck(t, "sumcols", []int{4, 3}, func(tp *Tape, v *Var) *Var {
+		s := tp.SumCols(v) // (4)
+		return tp.Reshape(s, 4, 1)
+	})
+}
+
+func TestScaleAndSubGradients(t *testing.T) {
+	tapeOpGradCheck(t, "scale", []int{3, 3}, func(tp *Tape, v *Var) *Var {
+		return tp.Scale(v, -2.5)
+	})
+	tapeOpGradCheck(t, "sub", []int{3, 3}, func(tp *Tape, v *Var) *Var {
+		return tp.Sub(tp.Const(tensor.Full(1, 3, 3)), v)
+	})
+}
+
+func TestDropoutZeroPIsIdentity(t *testing.T) {
+	e := ops.New(nil)
+	tp := NewTape(e)
+	x := tp.Const(tensor.Full(2, 3))
+	y := tp.Dropout(x, 0, rand.New(rand.NewSource(1)))
+	if y != x {
+		t.Fatal("p=0 dropout should be a no-op returning the same Var")
+	}
+}
+
+func TestInputPropagatesGradient(t *testing.T) {
+	e := ops.New(nil)
+	tp := NewTape(e)
+	v := tp.Input(tensor.Full(3, 2, 2))
+	loss := tp.MeanAll(tp.Mul(v, v))
+	tp.Backward(loss)
+	if v.Grad() == nil || v.Grad().MaxAbs() == 0 {
+		t.Fatal("Input var must accumulate gradients")
+	}
+	if tp.NumNodes() < 3 {
+		t.Fatal("tape did not record nodes")
+	}
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/ddp"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+// DNNBaseline trains the conventional-CNN comparator under the same
+// profiler and returns its report: the DNN side of the paper's "GNN
+// training differs greatly from a typical DNN" contrast.
+func DNNBaseline(cfg core.RunConfig) profiler.Report {
+	devCfg := gpu.V100()
+	if cfg.SampledWarps > 0 {
+		devCfg.MaxSampledWarps = cfg.SampledWarps
+	}
+	dev := gpu.New(devCfg)
+	prof := profiler.Attach(dev)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := models.NewEnv(ops.New(dev), seed)
+	env.OnIteration = prof.NextIteration
+	m := models.NewDNN(env, models.DNNConfig{})
+	prof.Reset()
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 2
+	}
+	for e := 0; e < epochs; e++ {
+		m.TrainEpoch()
+	}
+	return prof.Snapshot()
+}
+
+// FormatContrast renders the GNN-suite-vs-DNN operation-mix comparison.
+func FormatContrast(suite *Suite, dnn profiler.Report) string {
+	a := suite.Averages()
+	var b strings.Builder
+	b.WriteString("GNN suite vs conventional DNN (CNN baseline):\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s\n", "", "GNN suite", "DNN")
+	fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%%\n", "GEMM+SpMM+Conv time share",
+		100*(a.GEMMSpMMShare+convShare(suite)),
+		100*(dnn.TimeShare[gpu.OpGEMM]+dnn.TimeShare[gpu.OpSpMM]+dnn.TimeShare[gpu.OpConv]))
+	fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%%\n", "graph-op time share",
+		100*a.GraphOpShare, 100*dnn.GraphOpTimeShare())
+	fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%%\n", "int32 instruction share",
+		100*a.IntShare, 100*dnn.IntShare)
+	b.WriteString("\nGNN training spreads time across aggregation/indexing kernels a\n")
+	b.WriteString("GEMM-only accelerator would not touch (paper Section V-A takeaway).\n")
+	return b.String()
+}
+
+func convShare(s *Suite) float64 {
+	var sum float64
+	for _, r := range s.Results {
+		sum += r.Report.TimeShare[gpu.OpConv]
+	}
+	return sum / float64(len(s.Results))
+}
+
+// InferenceContrast characterizes one workload in training and in
+// forward-only (inference) mode and returns both reports: the paper's
+// future-work inference study, and its observation that training's op mix
+// differs from inference's (where GEMM dominates more).
+func InferenceContrast(cfg core.RunConfig) (train, infer profiler.Report, err error) {
+	t := cfg
+	t.ForwardOnly = false
+	rt, err := core.Run(t)
+	if err != nil {
+		return train, infer, err
+	}
+	i := cfg
+	i.ForwardOnly = true
+	ri, err := core.Run(i)
+	if err != nil {
+		return train, infer, err
+	}
+	return rt.Report, ri.Report, nil
+}
+
+// FormatInference renders the training-vs-inference comparison for one
+// workload.
+func FormatInference(workload string, train, infer profiler.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: training vs inference (forward-only) op mix\n", workload)
+	fmt.Fprintf(&b, "%-24s %10s %10s\n", "", "train", "infer")
+	fmt.Fprintf(&b, "%-24s %9.1f%% %9.1f%%\n", "GEMM+SpMM share",
+		100*train.GEMMSpMMTimeShare(), 100*infer.GEMMSpMMTimeShare())
+	fmt.Fprintf(&b, "%-24s %9.1f%% %9.1f%%\n", "element-wise share",
+		100*train.TimeShare[gpu.OpElementWise], 100*infer.TimeShare[gpu.OpElementWise])
+	fmt.Fprintf(&b, "%-24s %10d %10d\n", "kernels", train.Kernels, infer.Kernels)
+	fmt.Fprintf(&b, "%-24s %9.3f %9.3f\n", "kernel ms", 1e3*train.KernelSeconds, 1e3*infer.KernelSeconds)
+	return b.String()
+}
+
+// L1BypassAblation runs a workload with and without the L1 data cache: the
+// paper's suggested mitigation for GNNs' very low L1 hit rates. Returns
+// (normal, bypassed) kernel seconds.
+func L1BypassAblation(cfg core.RunConfig) (normal, bypassed float64, err error) {
+	n := cfg
+	n.BypassL1 = false
+	rn, err := core.Run(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	bp := cfg
+	bp.BypassL1 = true
+	rb, err := core.Run(bp)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rn.Report.KernelSeconds, rb.Report.KernelSeconds, nil
+}
+
+// WeakScaling runs the paper's future-work weak-scaling study (fixed
+// per-GPU batch) for one scalable workload.
+func WeakScaling(workload string, cfg core.RunConfig) ([]ddp.Result, error) {
+	factory := func(div int) (models.Workload, *gpu.Device) {
+		devCfg := gpu.V100()
+		if cfg.SampledWarps > 0 {
+			devCfg.MaxSampledWarps = cfg.SampledWarps
+		}
+		dev := gpu.New(devCfg)
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		env := models.NewEnv(ops.New(dev), seed)
+		return fig9Build(workload, env, div), dev
+	}
+	for _, key := range Fig9Workloads {
+		if key == workload {
+			return ddp.WeakScaling(factory, []int{1, 2, 4}, ddp.DefaultComm()), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: workload %q not in the scaling study set %v", workload, Fig9Workloads)
+}
+
+// FormatWeakScaling renders a weak-scaling result series.
+func FormatWeakScaling(workload string, results []ddp.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s weak scaling (fixed per-GPU batch; ideal efficiency 1.0)\n", workload)
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %d GPU: epoch %.3f ms (compute %.3f + comm %.3f)  efficiency %.2f\n",
+			r.GPUs, 1e3*r.EpochSeconds, 1e3*r.ComputeSeconds, 1e3*r.CommSeconds, r.Speedup)
+	}
+	return b.String()
+}
+
+// GPUCompare characterizes one workload across GPU generations and returns
+// the per-preset reports in (p100, v100, a100) order: a sensitivity study
+// of the paper's V100 findings.
+func GPUCompare(cfg core.RunConfig) (map[string]profiler.Report, error) {
+	out := map[string]profiler.Report{}
+	for _, g := range []string{"p100", "v100", "a100"} {
+		c := cfg
+		c.GPU = g
+		r, err := core.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = r.Report
+	}
+	return out, nil
+}
+
+// FormatGPUCompare renders the cross-generation comparison.
+func FormatGPUCompare(workload string, reports map[string]profiler.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s across GPU generations\n", workload)
+	fmt.Fprintf(&b, "%-8s %12s %10s %8s %8s\n", "gpu", "kernel ms", "GFLOPS", "L1", "L2")
+	for _, g := range []string{"p100", "v100", "a100"} {
+		r := reports[g]
+		fmt.Fprintf(&b, "%-8s %12.4f %10.0f %7.1f%% %7.1f%%\n",
+			g, 1e3*r.KernelSeconds, r.GFLOPS, 100*r.L1HitRate, 100*r.L2HitRate)
+	}
+	return b.String()
+}
+
+// PartitionedARGA contrasts naive DDP (cannot shard full-graph training)
+// with ROC-style partitioned full-graph training for ARGA: the what-if
+// behind the paper's Section V-E takeaway.
+func PartitionedARGA(cfg core.RunConfig) ([]ddp.PartitionedResult, error) {
+	c := cfg
+	c.Workload = "ARGA"
+	res, err := core.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	epoch := res.Report.KernelSeconds + res.Report.LaunchSeconds
+	epochs := c.Epochs
+	if epochs == 0 {
+		epochs = 3
+	}
+	epoch /= float64(epochs)
+
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := models.NewEnv(ops.New(gpu.New(gpu.V100())), seed)
+	ds := datasets.NewCitation(env.RNG, "cora")
+	// Two GCN layers propagate features; one iteration per epoch.
+	return ddp.PartitionedFullGraph(ds.Adj, ds.Features.Dim(1), 2,
+		epoch, 1, ddp.DefaultComm(), []int{1, 2, 4}), nil
+}
+
+// FormatPartitioned renders the partitioned full-graph study.
+func FormatPartitioned(results []ddp.PartitionedResult) string {
+	var b strings.Builder
+	b.WriteString("ARGA full-graph training with ROC-style graph partitioning\n")
+	b.WriteString("(naive DDP cannot shard it at all; partitioning can)\n")
+	fmt.Fprintf(&b, "%4s %12s %12s %12s %10s %8s\n",
+		"gpus", "epoch ms", "compute ms", "halo ms", "edge cut", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%4d %12.4f %12.4f %12.4f %10d %7.2fx\n",
+			r.GPUs, 1e3*r.EpochSeconds, 1e3*r.ComputeSeconds, 1e3*r.HaloSeconds,
+			r.EdgeCut, r.Speedup)
+	}
+	return b.String()
+}

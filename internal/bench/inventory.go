@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/ops"
+)
+
+// DatasetInventory renders every synthetic dataset's structural statistics:
+// size, degree shape, feature sparsity — the properties the substitutions
+// in DESIGN.md promise to preserve.
+func DatasetInventory(seed int64) string {
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	var b strings.Builder
+	b.WriteString("dataset inventory (synthetic stand-ins)\n")
+	fmt.Fprintf(&b, "%-12s %8s %9s %7s %9s %8s %7s\n",
+		"dataset", "nodes", "edges", "feats", "sparsity", "maxdeg", "gini")
+
+	row := func(name string, g *graph.CSR, feats int, sparsity float64) {
+		st := graph.Degrees(g)
+		fmt.Fprintf(&b, "%-12s %8d %9d %7d %8.1f%% %8d %7.2f\n",
+			name, g.Rows, g.NNZ(), feats, 100*sparsity, st.Max, st.Gini)
+	}
+
+	mvl := datasets.MovieLens(rng())
+	row("MVL(items)", mvl.ItemUsers, mvl.ItemFeatures.Dim(1), mvl.ItemFeatures.ZeroFraction())
+	nwp := datasets.NowPlaying(rng())
+	row("NWP(items)", nwp.ItemUsers, nwp.ItemFeatures.Dim(1), nwp.ItemFeatures.ZeroFraction())
+	for _, name := range []string{"cora", "citeseer", "pubmed"} {
+		c := datasets.NewCitation(rng(), name)
+		row(name, c.Adj, c.Features.Dim(1), c.Features.ZeroFraction())
+	}
+	tr := datasets.METRLA(rng())
+	row("METR-LA", tr.Adj, tr.Series.Dim(0), tr.Series.ZeroFraction())
+	mol := datasets.MolHIV(rng())
+	batch := graph.NewBatch(mol.Graphs)
+	row("molhiv(all)", batch.Adj, mol.FeatDim, mol.Features[0].ZeroFraction())
+	pro := datasets.Proteins(rng())
+	pb := graph.NewBatch(pro.Graphs)
+	row("PROTEINS", pb.Adj, pro.FeatDim, pro.Features[0].ZeroFraction())
+	ag := datasets.AGENDA(rng())
+	fmt.Fprintf(&b, "%-12s %8d examples, vocab %d, %d entity kinds\n",
+		"AGENDA", len(ag.Examples), ag.Vocab, ag.EntityKinds)
+	sst := datasets.SST(rng())
+	fmt.Fprintf(&b, "%-12s %8d trees, vocab %d, %d classes\n",
+		"SST", len(sst.Trees), sst.Vocab, sst.Classes)
+	return b.String()
+}
+
+// ModelInventory renders per-workload trainable parameter counts and
+// per-epoch kernel/iteration counts: the Table I companion.
+func ModelInventory(seed int64) string {
+	var b strings.Builder
+	b.WriteString("model inventory\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s %12s\n", "workload", "params", "iters", "grad bytes")
+	for _, spec := range core.Registry() {
+		env := models.NewEnv(ops.New(nil), seed)
+		w := spec.Build(env, spec.Datasets[0], 1)
+		ps := w.Params()
+		fmt.Fprintf(&b, "%-12s %10d %8d %12d\n",
+			spec.Key, nn.NumParams(ps), w.IterationsPerEpoch(), nn.ParamBytes(ps))
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/gpu"
+)
+
+// RooflinePoint places one operation class on the device roofline:
+// arithmetic intensity (flops per DRAM byte) against achieved GFLOPS, with
+// the bound that limits it. The paper's takeaway that "GNN training is
+// primarily memory bound" is this analysis in prose.
+type RooflinePoint struct {
+	Class gpu.OpClass
+	// Intensity is flops / DRAM bytes.
+	Intensity float64
+	// AchievedGFLOPS is the class's measured rate.
+	AchievedGFLOPS float64
+	// RoofGFLOPS is min(peak, intensity * bandwidth): the class's ceiling.
+	RoofGFLOPS float64
+	// MemoryBound reports whether the bandwidth roof is the binding one.
+	MemoryBound bool
+	// Seconds is the class's kernel time (for weighting).
+	Seconds float64
+}
+
+// Roofline computes per-class roofline positions for one characterization
+// run on the given device config.
+func Roofline(res core.RunResult, cfg gpu.Config) []RooflinePoint {
+	peak := cfg.PeakGFLOPS()
+	bwGBps := cfg.DRAMBandwidthGBps
+	var out []RooflinePoint
+	for _, c := range gpu.AllOpClasses() {
+		cs, ok := res.PerClass[c]
+		if !ok || cs.Seconds == 0 || cs.Flops == 0 {
+			continue
+		}
+		var dramBytes float64
+		// L2 misses fill from DRAM.
+		dramBytes = float64(cs.L2Misses) * float64(cfg.L2LineBytes)
+		if dramBytes == 0 {
+			dramBytes = 1
+		}
+		p := RooflinePoint{
+			Class:          c,
+			Intensity:      float64(cs.Flops) / dramBytes,
+			AchievedGFLOPS: cs.GFLOPS(),
+			Seconds:        cs.Seconds,
+		}
+		bwRoof := p.Intensity * bwGBps
+		p.RoofGFLOPS = peak
+		if bwRoof < peak {
+			p.RoofGFLOPS = bwRoof
+			p.MemoryBound = true
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+// FormatRoofline renders the roofline table for one workload.
+func FormatRoofline(label string, points []RooflinePoint, cfg gpu.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s roofline on %s (peak %.0f GFLOPS, %.0f GB/s)\n",
+		label, cfg.Name, cfg.PeakGFLOPS(), cfg.DRAMBandwidthGBps)
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %8s\n",
+		"op", "flops/byte", "achieved", "roof", "bound")
+	var memSeconds, total float64
+	for _, p := range points {
+		bound := "compute"
+		if p.MemoryBound {
+			bound = "memory"
+			memSeconds += p.Seconds
+		}
+		total += p.Seconds
+		fmt.Fprintf(&b, "%-12s %12.2f %12.0f %12.0f %8s\n",
+			p.Class, p.Intensity, p.AchievedGFLOPS, p.RoofGFLOPS, bound)
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "memory-bound share of kernel time: %.1f%%\n", 100*memSeconds/total)
+	}
+	return b.String()
+}
+
+// MemoryBoundShare returns the fraction of kernel time spent in classes
+// whose roofline bound is the memory roof.
+func MemoryBoundShare(points []RooflinePoint) float64 {
+	var mem, total float64
+	for _, p := range points {
+		total += p.Seconds
+		if p.MemoryBound {
+			mem += p.Seconds
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return mem / total
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+// SweepPoint is one setting of a swept hyperparameter with its profile.
+type SweepPoint struct {
+	Value        int
+	Report       profiler.Report
+	EpochSeconds float64
+	Loss         float64
+}
+
+// sweepBuilders maps "workload/param" to a constructor taking the swept
+// value. These are the design knobs DESIGN.md calls out: model depth and
+// width (DGCN), temporal channel width (STGCN), transformer width (GW),
+// sampler walk count (PSAGE), and batch size (TLSTM).
+var sweepBuilders = map[string]func(env *models.Env, v int) models.Workload{
+	"DGCN/layers": func(env *models.Env, v int) models.Workload {
+		return models.NewDGCN(env, datasets.MolHIV(env.RNG), models.DGCNConfig{Layers: v})
+	},
+	"DGCN/hidden": func(env *models.Env, v int) models.Workload {
+		return models.NewDGCN(env, datasets.MolHIV(env.RNG), models.DGCNConfig{Hidden: v})
+	},
+	"STGCN/channels": func(env *models.Env, v int) models.Workload {
+		return models.NewSTGCN(env, datasets.METRLA(env.RNG), models.STGCNConfig{Channels: v})
+	},
+	"GW/dim": func(env *models.Env, v int) models.Workload {
+		return models.NewGW(env, datasets.AGENDA(env.RNG), models.GWConfig{Dim: v})
+	},
+	"PSAGE/walks": func(env *models.Env, v int) models.Workload {
+		return models.NewPSAGE(env, datasets.MovieLens(env.RNG), models.PSAGEConfig{NumWalks: v})
+	},
+	"TLSTM/batch": func(env *models.Env, v int) models.Workload {
+		return models.NewTLSTM(env, datasets.SST(env.RNG), models.TLSTMConfig{BatchSize: v})
+	},
+}
+
+// SweepParams lists the supported "workload/param" sweep keys.
+func SweepParams() []string {
+	out := make([]string, 0, len(sweepBuilders))
+	for k := range sweepBuilders {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sweep profiles one workload across a hyperparameter's values. key is
+// "WORKLOAD/param" (see SweepParams).
+func Sweep(key string, values []int, cfg core.RunConfig) ([]SweepPoint, error) {
+	build, ok := sweepBuilders[key]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown sweep %q (have %v)", key, SweepParams())
+	}
+	var out []SweepPoint
+	for _, v := range values {
+		devCfg := gpu.V100()
+		if cfg.SampledWarps > 0 {
+			devCfg.MaxSampledWarps = cfg.SampledWarps
+		}
+		dev := gpu.New(devCfg)
+		prof := profiler.Attach(dev)
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		env := models.NewEnv(ops.New(dev), seed)
+		env.OnIteration = prof.NextIteration
+		w := build(env, v)
+		prof.Reset()
+		dev.ResetClock()
+		epochs := cfg.Epochs
+		if epochs == 0 {
+			epochs = 1
+		}
+		var loss float64
+		for e := 0; e < epochs; e++ {
+			loss = w.TrainEpoch()
+		}
+		out = append(out, SweepPoint{
+			Value:        v,
+			Report:       prof.Snapshot(),
+			EpochSeconds: dev.ElapsedSeconds() / float64(epochs),
+			Loss:         loss,
+		})
+	}
+	return out, nil
+}
+
+// FormatSweep renders a sweep as a table of time, GFLOPS, and the op-mix
+// shares most sensitive to the knob.
+func FormatSweep(key string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep %s\n", key)
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %10s %10s\n",
+		"value", "epoch ms", "GFLOPS", "gemm%", "elem%", "conv%")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %12.4f %10.0f %9.1f%% %9.1f%% %9.1f%%\n",
+			p.Value, 1e3*p.EpochSeconds, p.Report.GFLOPS,
+			100*p.Report.TimeShare[gpu.OpGEMM],
+			100*p.Report.TimeShare[gpu.OpElementWise],
+			100*p.Report.TimeShare[gpu.OpConv])
+	}
+	return b.String()
+}

@@ -1,0 +1,307 @@
+// Package core is the public surface of the GNNMark suite reproduction: a
+// registry of the eight workloads with their datasets (paper Table I) and a
+// characterization runner that wires a simulated V100, the profiler, and a
+// workload together and returns every metric the paper's figures report.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+// Spec is one Table I row: a workload, its provenance, and its datasets.
+type Spec struct {
+	// Key is the paper's mnemonic (PSAGE, STGCN, DGCN, GW, KGNNL, KGNNH,
+	// ARGA, TLSTM).
+	Key string
+	// Model is the full model name.
+	Model string
+	// Framework is the GNN framework the paper's implementation uses.
+	Framework string
+	// Domain is the application domain.
+	Domain string
+	// GraphKind is the graph-data category (homogeneous, heterogeneous,
+	// dynamic, trees, batched small graphs).
+	GraphKind string
+	// Datasets lists usable dataset keys; the first is the default.
+	Datasets []string
+	// Build constructs the workload on the given dataset with the given
+	// DDP batch divisor.
+	Build func(env *models.Env, dataset string, batchDivisor int) models.Workload
+}
+
+// registry holds the suite in paper order.
+var registry = []Spec{
+	{
+		Key: "PSAGE", Model: "PinSAGE", Framework: "DGL",
+		Domain: "Recommendation systems", GraphKind: "heterogeneous bipartite",
+		Datasets: []string{"MVL", "NWP"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			var ds *datasets.Bipartite
+			switch dataset {
+			case "MVL":
+				ds = datasets.MovieLens(env.RNG)
+			case "NWP":
+				ds = datasets.NowPlaying(env.RNG)
+			default:
+				panic("core: PSAGE dataset must be MVL or NWP, got " + dataset)
+			}
+			return models.NewPSAGE(env, ds, models.PSAGEConfig{BatchDivisor: div})
+		},
+	},
+	{
+		Key: "STGCN", Model: "Spatio-Temporal GCN", Framework: "PyTorch",
+		Domain: "Traffic forecasting", GraphKind: "dynamic (spatio-temporal)",
+		Datasets: []string{"METR-LA"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewSTGCN(env, datasets.METRLA(env.RNG), models.STGCNConfig{BatchDivisor: div})
+		},
+	},
+	{
+		Key: "DGCN", Model: "DeepGCN", Framework: "PyG",
+		Domain: "Molecular property prediction", GraphKind: "batched molecule graphs",
+		Datasets: []string{"ogbg-molhiv"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewDGCN(env, datasets.MolHIV(env.RNG), models.DGCNConfig{BatchDivisor: div})
+		},
+	},
+	{
+		Key: "GW", Model: "GraphWriter", Framework: "PyTorch",
+		Domain: "Text generation from knowledge graphs", GraphKind: "knowledge graphs",
+		Datasets: []string{"AGENDA"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewGW(env, datasets.AGENDA(env.RNG), models.GWConfig{BatchDivisor: div})
+		},
+	},
+	{
+		Key: "KGNNL", Model: "k-GNN (1-2-GNN)", Framework: "PyG",
+		Domain: "Protein classification", GraphKind: "batched small graphs",
+		Datasets: []string{"PROTEINS"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewKGNN(env, datasets.Proteins(env.RNG), models.KGNNConfig{K: 2, BatchDivisor: div})
+		},
+	},
+	{
+		Key: "KGNNH", Model: "k-GNN (1-2-3-GNN)", Framework: "PyG",
+		Domain: "Protein classification", GraphKind: "batched small graphs",
+		Datasets: []string{"PROTEINS"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewKGNN(env, datasets.Proteins(env.RNG), models.KGNNConfig{K: 3, BatchDivisor: div})
+		},
+	},
+	{
+		Key: "ARGA", Model: "Adversarially Regularized Graph Autoencoder", Framework: "PyG",
+		Domain: "Node clustering / graph embedding", GraphKind: "homogeneous citation graphs",
+		Datasets: []string{"cora", "citeseer", "pubmed"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewARGA(env, datasets.NewCitation(env.RNG, dataset), models.ARGAConfig{})
+		},
+	},
+	{
+		Key: "TLSTM", Model: "Child-Sum Tree-LSTM", Framework: "DGL",
+		Domain: "Sentiment classification", GraphKind: "batched trees",
+		Datasets: []string{"SST"},
+		Build: func(env *models.Env, dataset string, div int) models.Workload {
+			return models.NewTLSTM(env, datasets.SST(env.RNG), models.TLSTMConfig{BatchDivisor: div})
+		},
+	},
+}
+
+// Registry returns the suite specs in paper order. The returned slice is a
+// copy; mutating it does not affect the registry.
+func Registry() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the spec with the given key.
+func Lookup(key string) (Spec, error) {
+	for _, s := range registry {
+		if s.Key == key {
+			return s, nil
+		}
+	}
+	keys := make([]string, 0, len(registry))
+	for _, s := range registry {
+		keys = append(keys, s.Key)
+	}
+	sort.Strings(keys)
+	return Spec{}, fmt.Errorf("core: unknown workload %q (have %v)", key, keys)
+}
+
+// RunConfig configures one characterization run.
+type RunConfig struct {
+	// Workload is the registry key; Dataset one of its datasets (empty =
+	// default).
+	Workload string
+	Dataset  string
+	// Epochs is the number of training epochs (default 3).
+	Epochs int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// SampledWarps overrides the device's cache-replay budget (default
+	// 4096; lower = faster, coarser).
+	SampledWarps int
+	// HalfPrecision enables the fp16 storage mode (paper future work).
+	HalfPrecision bool
+	// ForwardOnly characterizes inference instead of training: iterations
+	// run the forward pass only, with no backward kernels or optimizer
+	// steps (the paper's future-work inference-study mode).
+	ForwardOnly bool
+	// BypassL1 disables the L1 data cache (all accesses served by L2): the
+	// paper's suggested mitigation for the very low L1 hit rates.
+	BypassL1 bool
+	// GPU selects the device preset: "v100" (default, the paper's GPU),
+	// "p100", or "a100" for cross-generation sensitivity studies.
+	GPU string
+	// BatchDivisor shards the per-iteration batch (used by DDP studies).
+	BatchDivisor int
+}
+
+func (c *RunConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SampledWarps == 0 {
+		c.SampledWarps = 4096
+	}
+	if c.BatchDivisor == 0 {
+		c.BatchDivisor = 1
+	}
+}
+
+// RunResult is the outcome of one characterization run.
+type RunResult struct {
+	Workload string
+	Dataset  string
+	Report   profiler.Report
+	// SparsityTimeline is the per-iteration H2D zero fraction (Figure 8).
+	SparsityTimeline []float64
+	// EpochSeconds is simulated time per epoch.
+	EpochSeconds []float64
+	// Losses is the mean training loss per epoch.
+	Losses []float64
+	// ParamCount is the model's trainable parameter count.
+	ParamCount int
+	// PerClass carries the per-op-class stats for Figures 5/6 per-op views.
+	PerClass map[gpu.OpClass]profiler.ClassStats
+}
+
+// Run executes one characterization run: build device + profiler + model,
+// train, snapshot.
+func Run(cfg RunConfig) (RunResult, error) {
+	cfg.defaults()
+	spec, err := Lookup(cfg.Workload)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = spec.Datasets[0]
+	}
+	found := false
+	for _, d := range spec.Datasets {
+		if d == dataset {
+			found = true
+		}
+	}
+	if !found {
+		return RunResult{}, fmt.Errorf("core: workload %s has no dataset %q (have %v)",
+			spec.Key, dataset, spec.Datasets)
+	}
+
+	devCfg, err := gpu.Preset(cfg.GPU)
+	if err != nil {
+		return RunResult{}, err
+	}
+	devCfg.MaxSampledWarps = cfg.SampledWarps
+	devCfg.HalfPrecision = cfg.HalfPrecision
+	devCfg.BypassL1 = cfg.BypassL1
+	dev := gpu.New(devCfg)
+	prof := profiler.Attach(dev)
+	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	env.OnIteration = prof.NextIteration
+	env.Training = !cfg.ForwardOnly
+
+	w := spec.Build(env, dataset, cfg.BatchDivisor)
+	// Construction may launch preprocessing kernels; measure training only.
+	prof.Reset()
+	dev.ResetClock()
+
+	res := RunResult{
+		Workload:   spec.Key,
+		Dataset:    dataset,
+		ParamCount: nn.NumParams(w.Params()),
+	}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		res.Losses = append(res.Losses, w.TrainEpoch())
+		prof.MarkEpoch()
+	}
+	res.Report = prof.Snapshot()
+	res.SparsityTimeline = prof.SparsityTimeline()
+	res.EpochSeconds = prof.EpochSeconds()
+	res.PerClass = map[gpu.OpClass]profiler.ClassStats{}
+	for _, c := range gpu.AllOpClasses() {
+		if cs := prof.Class(c); cs.Kernels > 0 {
+			res.PerClass[c] = *cs
+		}
+	}
+	return res, nil
+}
+
+// SuiteRun pairs a workload key with a dataset for suite-wide sweeps.
+type SuiteRun struct {
+	Workload string
+	Dataset  string
+}
+
+// DefaultSuite returns the workload/dataset pairs the paper's figures sweep
+// over: every workload on its default dataset, plus PSAGE on NWP (the
+// dataset-dependence contrast of Figures 2 and 7).
+func DefaultSuite() []SuiteRun {
+	var out []SuiteRun
+	for _, s := range registry {
+		out = append(out, SuiteRun{Workload: s.Key, Dataset: s.Datasets[0]})
+		if s.Key == "PSAGE" {
+			out = append(out, SuiteRun{Workload: s.Key, Dataset: "NWP"})
+		}
+	}
+	return out
+}
+
+// RunSuite characterizes every workload in the suite with shared settings.
+func RunSuite(cfg RunConfig) ([]RunResult, error) {
+	var out []RunResult
+	for _, sr := range DefaultSuite() {
+		c := cfg
+		c.Workload = sr.Workload
+		c.Dataset = sr.Dataset
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Label returns the display label of a run ("PSAGE(MVL)" when the workload
+// has multiple datasets, otherwise just the key).
+func (r RunResult) Label() string {
+	spec, err := Lookup(r.Workload)
+	if err == nil && len(spec.Datasets) > 1 {
+		return fmt.Sprintf("%s(%s)", r.Workload, r.Dataset)
+	}
+	return r.Workload
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/profiler"
+)
+
+// TTTResult is the outcome of a time-to-train run: the MLPerf-style metric
+// the paper planned to adopt ("we plan to update our suite using the
+// time-to-train metric proposed by the developers of MLPerf").
+type TTTResult struct {
+	Workload string
+	Dataset  string
+	// TargetLoss is the convergence threshold.
+	TargetLoss float64
+	// Epochs is the number of epochs run (== MaxEpochs when not converged).
+	Epochs int
+	// Converged reports whether the target was reached within MaxEpochs.
+	Converged bool
+	// SimSeconds is the simulated GPU time spent (kernels + exposed launch
+	// overhead + transfers) until convergence or cutoff.
+	SimSeconds float64
+	// FinalLoss is the last epoch's mean loss.
+	FinalLoss float64
+	// LossCurve holds every epoch's loss.
+	LossCurve []float64
+}
+
+// TimeToTrain trains the configured workload until its epoch loss falls to
+// targetLoss or maxEpochs elapse, and reports the simulated time consumed.
+func TimeToTrain(cfg RunConfig, targetLoss float64, maxEpochs int) (TTTResult, error) {
+	cfg.defaults()
+	if maxEpochs <= 0 {
+		return TTTResult{}, fmt.Errorf("core: TimeToTrain requires positive maxEpochs, got %d", maxEpochs)
+	}
+	spec, err := Lookup(cfg.Workload)
+	if err != nil {
+		return TTTResult{}, err
+	}
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = spec.Datasets[0]
+	}
+
+	devCfg, err := gpu.Preset(cfg.GPU)
+	if err != nil {
+		return TTTResult{}, err
+	}
+	devCfg.MaxSampledWarps = cfg.SampledWarps
+	devCfg.HalfPrecision = cfg.HalfPrecision
+	dev := gpu.New(devCfg)
+	prof := profiler.Attach(dev)
+	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	env.OnIteration = prof.NextIteration
+
+	w := spec.Build(env, dataset, cfg.BatchDivisor)
+	dev.ResetClock()
+
+	res := TTTResult{
+		Workload:   spec.Key,
+		Dataset:    dataset,
+		TargetLoss: targetLoss,
+	}
+	_ = nn.NumParams(w.Params()) // touch params so misconfigured builds fail fast
+	for ep := 0; ep < maxEpochs; ep++ {
+		loss := w.TrainEpoch()
+		res.LossCurve = append(res.LossCurve, loss)
+		res.Epochs = ep + 1
+		res.FinalLoss = loss
+		if loss <= targetLoss {
+			res.Converged = true
+			break
+		}
+	}
+	res.SimSeconds = dev.ElapsedSeconds()
+	return res, nil
+}

@@ -1,0 +1,326 @@
+// Package datasets generates the synthetic stand-ins for the paper's
+// datasets (Table I). Real MovieLens/Nowplaying-RS/METR-LA/ogbg-molhiv/
+// PROTEINS/AGENDA/SST/Cora-class data is unavailable offline, so each
+// generator reproduces the statistical properties the experiments are
+// sensitive to — graph size and degree shape, feature dimensionality ratios,
+// feature sparsity, time-series structure, molecule-size distributions, and
+// parse-tree shapes. Every generator is deterministic per seed.
+//
+// The sizes are scaled down from the originals so a full characterization
+// run completes in seconds on a laptop; the paper's metrics are ratios and
+// breakdowns, which survive uniform scaling.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"gnnmark/internal/graph"
+	"gnnmark/internal/tensor"
+)
+
+// sparseFeatures returns an (n,f) feature matrix where each entry is zero
+// with probability zeroFrac and otherwise positive uniform: the knob behind
+// the paper's transfer-sparsity spread (Figure 7).
+func sparseFeatures(rng *rand.Rand, n, f int, zeroFrac float64) *tensor.Tensor {
+	t := tensor.New(n, f)
+	d := t.Data()
+	for i := range d {
+		if rng.Float64() >= zeroFrac {
+			d[i] = rng.Float32()*0.9 + 0.1
+		}
+	}
+	return t
+}
+
+// Bipartite is a user-item interaction dataset for PinSAGE-style
+// recommendation training.
+type Bipartite struct {
+	Name      string
+	Users     int
+	Items     int
+	ItemUsers *graph.CSR // rows: items, cols: users who interacted
+	UserItems *graph.CSR // rows: users, cols: items interacted with
+	// ItemFeatures is the dense item feature matrix transferred to the GPU
+	// each batch.
+	ItemFeatures *tensor.Tensor
+	Hetero       *graph.Hetero
+}
+
+// bipartite builds a skewed (preferential) user-item interaction graph.
+func bipartite(rng *rand.Rand, name string, users, items, interactions, featDim int, zeroFrac float64) *Bipartite {
+	// Item popularity follows a Zipf-like distribution, as in MovieLens.
+	edges := make([]graph.Edge, 0, interactions)
+	seen := map[[2]int32]bool{}
+	for len(edges) < interactions {
+		u := int32(rng.Intn(users))
+		// Zipf-ish item pick via squared uniform.
+		x := rng.Float64()
+		it := int32(x * x * float64(items))
+		if it >= int32(items) {
+			it = int32(items - 1)
+		}
+		key := [2]int32{u, it}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{Src: u, Dst: it})
+	}
+	itemUsers := graph.FromEdges(items, users, edges)
+	rev := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		rev[i] = graph.Edge{Src: e.Dst, Dst: e.Src}
+	}
+	userItems := graph.FromEdges(users, items, rev)
+
+	h := graph.NewHetero()
+	h.AddNodeType("user", users)
+	h.AddNodeType("item", items)
+	h.AddRelation(graph.Relation{SrcType: "user", EdgeType: "interacted", DstType: "item"}, itemUsers)
+	h.AddRelation(graph.Relation{SrcType: "item", EdgeType: "interacted-by", DstType: "user"}, userItems)
+
+	return &Bipartite{
+		Name:         name,
+		Users:        users,
+		Items:        items,
+		ItemUsers:    itemUsers,
+		UserItems:    userItems,
+		ItemFeatures: sparseFeatures(rng, items, featDim, zeroFrac),
+		Hetero:       h,
+	}
+}
+
+// MovieLens is the MVL stand-in: modest feature dimension, ~22% feature
+// sparsity (matching the paper's PSAGE/MVL transfer sparsity).
+func MovieLens(rng *rand.Rand) *Bipartite {
+	return bipartite(rng, "MVL", 6000, 4000, 48000, 16, 0.22)
+}
+
+// NowPlaying is the NWP stand-in: feature vectors 10x larger than MVL
+// (driving PSAGE's element-wise blow-up in Figure 2) and denser (~11%
+// zeros, matching Figure 7).
+func NowPlaying(rng *rand.Rand) *Bipartite {
+	return bipartite(rng, "NWP", 5000, 3000, 40000, 160, 0.11)
+}
+
+// Citation is a Cora/PubMed/CiteSeer-style node-classification dataset:
+// a degree-skewed undirected graph with very sparse bag-of-words features.
+type Citation struct {
+	Name       string
+	Adj        *graph.CSR
+	Features   *tensor.Tensor
+	Labels     []int32
+	NumClasses int
+}
+
+// citationSpec mirrors the relative sizes of the three standard datasets.
+var citationSpec = map[string]struct {
+	nodes, feats, classes int
+	zeroFrac              float64
+}{
+	"cora":     {2400, 358, 7, 0.95},
+	"citeseer": {2700, 467, 6, 0.96},
+	"pubmed":   {3600, 125, 3, 0.90},
+}
+
+// NewCitation builds the named citation dataset ("cora", "citeseer",
+// "pubmed").
+func NewCitation(rng *rand.Rand, name string) *Citation {
+	spec, ok := citationSpec[name]
+	if !ok {
+		panic("datasets: unknown citation dataset " + name)
+	}
+	g := graph.PreferentialAttachment(rng, spec.nodes, 2)
+	labels := make([]int32, spec.nodes)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(spec.classes))
+	}
+	return &Citation{
+		Name:       name,
+		Adj:        g,
+		Features:   sparseFeatures(rng, spec.nodes, spec.feats, spec.zeroFrac),
+		Labels:     labels,
+		NumClasses: spec.classes,
+	}
+}
+
+// Traffic is the METR-LA stand-in for STGCN: a sensor proximity graph plus
+// a periodic speed time-series with dropouts.
+type Traffic struct {
+	Name    string
+	Sensors int
+	Adj     *graph.CSR
+	// Series is (timesteps, sensors) normalized speed readings; zero rows
+	// model sensor dropouts.
+	Series *tensor.Tensor
+}
+
+// METRLA generates the traffic dataset: daily-periodic speeds with rush-hour
+// dips, ~15% dropout zeros.
+func METRLA(rng *rand.Rand) *Traffic {
+	const sensors = 100
+	const steps = 576 // two synthetic "days" at 5-minute resolution
+	// Sensor graph: each sensor connects to its k nearest "road" neighbors.
+	var edges []graph.Edge
+	for i := 0; i < sensors; i++ {
+		for d := 1; d <= 3; d++ {
+			j := (i + d) % sensors
+			edges = append(edges,
+				graph.Edge{Src: int32(i), Dst: int32(j)},
+				graph.Edge{Src: int32(j), Dst: int32(i)})
+		}
+	}
+	adj := graph.FromEdges(sensors, sensors, edges)
+
+	series := tensor.New(steps, sensors)
+	for s := 0; s < sensors; s++ {
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 0.3 + 0.4*rng.Float64()
+		for t := 0; t < steps; t++ {
+			day := float64(t%288) / 288 * 2 * math.Pi
+			v := 0.6 + amp*math.Sin(day+phase) + 0.05*rng.NormFloat64()
+			if rng.Float64() < 0.15 {
+				v = 0 // sensor dropout
+			}
+			series.Set(float32(v), t, s)
+		}
+	}
+	return &Traffic{Name: "METR-LA", Sensors: sensors, Adj: adj, Series: series}
+}
+
+// MoleculeSet is a collection of small graphs with node features and a
+// binary graph-level label: the ogbg-molhiv / PROTEINS shape.
+type MoleculeSet struct {
+	Name     string
+	Graphs   []*graph.CSR
+	Features []*tensor.Tensor
+	Labels   []int32
+	FeatDim  int
+}
+
+// molecules generates count small connected graphs with one-hot-ish sparse
+// node features of dimension featDim.
+func molecules(rng *rand.Rand, name string, count, minNodes, maxNodes, featDim int, zeroFrac float64) *MoleculeSet {
+	m := &MoleculeSet{Name: name, FeatDim: featDim}
+	for i := 0; i < count; i++ {
+		n := minNodes + rng.Intn(maxNodes-minNodes+1)
+		// Chain backbone (molecules are mostly tree-like) plus extra bonds.
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			u := v - 1
+			if rng.Float64() < 0.3 && v > 1 {
+				u = rng.Intn(v)
+			}
+			edges = append(edges,
+				graph.Edge{Src: int32(u), Dst: int32(v)},
+				graph.Edge{Src: int32(v), Dst: int32(u)})
+		}
+		extra := rng.Intn(n/4 + 1)
+		for k := 0; k < extra; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges,
+					graph.Edge{Src: int32(u), Dst: int32(v)},
+					graph.Edge{Src: int32(v), Dst: int32(u)})
+			}
+		}
+		g := graph.FromEdges(n, n, edges)
+		m.Graphs = append(m.Graphs, g)
+		m.Features = append(m.Features, sparseFeatures(rng, n, featDim, zeroFrac))
+		m.Labels = append(m.Labels, int32(rng.Intn(2)))
+	}
+	return m
+}
+
+// MolHIV is the ogbg-molhiv stand-in used by DeepGCN.
+func MolHIV(rng *rand.Rand) *MoleculeSet {
+	return molecules(rng, "ogbg-molhiv", 160, 12, 28, 9, 0.70)
+}
+
+// Proteins is the PROTEINS stand-in used by the k-GNN workloads.
+func Proteins(rng *rand.Rand) *MoleculeSet {
+	return molecules(rng, "PROTEINS", 120, 8, 24, 3, 0.67)
+}
+
+// KGExample is one AGENDA-style knowledge-graph-to-text example.
+type KGExample struct {
+	// EntityTypes[i] is entity i's type id; the encoder embeds these.
+	EntityTypes []int32
+	// Rel is the entity relation graph.
+	Rel *graph.CSR
+	// Title and Target are token-id sequences (title conditions, target is
+	// the generation objective).
+	Title  []int32
+	Target []int32
+}
+
+// KGText is the AGENDA stand-in for GraphWriter.
+type KGText struct {
+	Name        string
+	Examples    []KGExample
+	Vocab       int
+	EntityKinds int
+}
+
+// AGENDA generates knowledge-graph-to-text pairs with Zipf-distributed
+// token frequencies.
+func AGENDA(rng *rand.Rand) *KGText {
+	const vocab = 600
+	const kinds = 12
+	ds := &KGText{Name: "AGENDA", Vocab: vocab, EntityKinds: kinds}
+	zipf := func() int32 {
+		x := rng.Float64()
+		return int32(x * x * float64(vocab))
+	}
+	for i := 0; i < 64; i++ {
+		n := 8 + rng.Intn(10)
+		types := make([]int32, n)
+		for j := range types {
+			types[j] = int32(rng.Intn(kinds))
+		}
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			u := rng.Intn(v)
+			edges = append(edges,
+				graph.Edge{Src: int32(u), Dst: int32(v)},
+				graph.Edge{Src: int32(v), Dst: int32(u)})
+		}
+		title := make([]int32, 6+rng.Intn(6))
+		for j := range title {
+			title[j] = zipf()
+		}
+		target := make([]int32, 24+rng.Intn(16))
+		for j := range target {
+			target[j] = zipf()
+		}
+		ds.Examples = append(ds.Examples, KGExample{
+			EntityTypes: types,
+			Rel:         graph.FromEdges(n, n, edges),
+			Title:       title,
+			Target:      target,
+		})
+	}
+	return ds
+}
+
+// Sentiment is the SST stand-in for Tree-LSTM: parse trees with token
+// leaves and 5-way sentiment labels.
+type Sentiment struct {
+	Name    string
+	Trees   []*graph.Tree
+	Vocab   int
+	Classes int
+}
+
+// SST generates random constituency-shaped trees.
+func SST(rng *rand.Rand) *Sentiment {
+	const vocab = 800
+	const classes = 5
+	ds := &Sentiment{Name: "SST", Vocab: vocab, Classes: classes}
+	for i := 0; i < 200; i++ {
+		leaves := 4 + rng.Intn(22)
+		ds.Trees = append(ds.Trees, graph.RandomTree(rng, leaves, vocab, classes))
+	}
+	return ds
+}

@@ -1,0 +1,172 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnnmark/internal/graph"
+	"gnnmark/internal/tensor"
+)
+
+// This file lets users run the suite on their own data instead of the
+// synthetic generators: plain-text loaders for the common "edge list +
+// feature table + label column" layout that Planetoid/OGB-style datasets
+// are typically exported to.
+
+// LoadEdgeList reads a directed edge list: one "src dst" pair per line
+// (whitespace-separated), '#' comments and blank lines ignored. Node count
+// n must cover every referenced id.
+func LoadEdgeList(r io.Reader, n int) (*graph.CSR, error) {
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("datasets: edge list line %d: want 'src dst', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: edge list line %d: %w", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: edge list line %d: %w", line, err)
+		}
+		if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
+			return nil, fmt.Errorf("datasets: edge list line %d: node id out of range [0,%d)", line, n)
+		}
+		edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading edge list: %w", err)
+	}
+	return graph.FromEdges(n, n, edges), nil
+}
+
+// LoadFeatureTable reads an (n x f) dense feature table: one node per line,
+// f whitespace-separated floats. All rows must have equal width.
+func LoadFeatureTable(r io.Reader) (*tensor.Tensor, error) {
+	var data []float32
+	width := -1
+	rows := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if width == -1 {
+			width = len(fields)
+		} else if len(fields) != width {
+			return nil, fmt.Errorf("datasets: feature line %d has %d columns, want %d", line, len(fields), width)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: feature line %d: %w", line, err)
+			}
+			data = append(data, float32(v))
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading features: %w", err)
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("datasets: empty feature table")
+	}
+	return tensor.FromSlice(data, rows, width), nil
+}
+
+// LoadLabels reads one integer class label per line.
+func LoadLabels(r io.Reader) ([]int32, error) {
+	var out []int32
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: label line %d: %w", line, err)
+		}
+		out = append(out, int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading labels: %w", err)
+	}
+	return out, nil
+}
+
+// LoadCitationFiles assembles a Citation dataset (usable by ARGA) from
+// edge-list, feature-table, and label files on disk. The node count is the
+// feature table's row count; labels must match it.
+func LoadCitationFiles(name, edgePath, featurePath, labelPath string) (*Citation, error) {
+	ff, err := os.Open(featurePath)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	defer ff.Close()
+	features, err := LoadFeatureTable(ff)
+	if err != nil {
+		return nil, err
+	}
+	n := features.Dim(0)
+
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	defer ef.Close()
+	adj, err := LoadEdgeList(ef, n)
+	if err != nil {
+		return nil, err
+	}
+
+	lf, err := os.Open(labelPath)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	defer lf.Close()
+	labels, err := LoadLabels(lf)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("datasets: %d labels for %d nodes", len(labels), n)
+	}
+	classes := int32(0)
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("datasets: negative label %d", l)
+		}
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	return &Citation{
+		Name:       name,
+		Adj:        adj,
+		Features:   features,
+		Labels:     labels,
+		NumClasses: int(classes),
+	}, nil
+}

@@ -1,0 +1,157 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# a comment
+0 1
+1 2
+
+2 0
+`
+	g, err := LoadEdgeList(strings.NewReader(in), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NNZ() != 3 || !g.HasEdge(0, 1) || !g.HasEdge(2, 0) {
+		t.Fatalf("loaded graph wrong: nnz=%d", g.NNZ())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":   "0\n",
+		"bad number":   "a b\n",
+		"out of range": "0 9\n",
+		"negative":     "-1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(in), 3); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestLoadFeatureTable(t *testing.T) {
+	in := "1 0 2.5\n0 0 0\n# trailing comment\n"
+	x, err := LoadFeatureTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.At(0, 2) != 2.5 {
+		t.Fatalf("features wrong: %v %v", x.Shape(), x.Data())
+	}
+
+	if _, err := LoadFeatureTable(strings.NewReader("1 2\n1 2 3\n")); err == nil {
+		t.Fatal("ragged table must error")
+	}
+	if _, err := LoadFeatureTable(strings.NewReader("x y\n")); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+	if _, err := LoadFeatureTable(strings.NewReader("")); err == nil {
+		t.Fatal("empty table must error")
+	}
+}
+
+func TestLoadLabels(t *testing.T) {
+	out, err := LoadLabels(strings.NewReader("0\n2\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[1] != 2 {
+		t.Fatalf("labels = %v", out)
+	}
+	if _, err := LoadLabels(strings.NewReader("x\n")); err == nil {
+		t.Fatal("bad label must error")
+	}
+}
+
+func TestLoadCitationFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	edges := write("edges.txt", "0 1\n1 2\n2 3\n3 0\n1 0\n2 1\n3 2\n0 3\n")
+	feats := write("feats.txt", "1 0 0\n0 1 0\n0 0 1\n1 1 0\n")
+	labels := write("labels.txt", "0\n1\n0\n1\n")
+
+	ds, err := LoadCitationFiles("custom", edges, feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adj.Rows != 4 || ds.Features.Dim(1) != 3 || ds.NumClasses != 2 {
+		t.Fatalf("dataset wrong: %d nodes, %d feats, %d classes",
+			ds.Adj.Rows, ds.Features.Dim(1), ds.NumClasses)
+	}
+	if err := ds.Adj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched labels.
+	short := write("short.txt", "0\n1\n")
+	if _, err := LoadCitationFiles("x", edges, feats, short); err == nil {
+		t.Fatal("label/node mismatch must error")
+	}
+	// Missing file.
+	if _, err := LoadCitationFiles("x", filepath.Join(dir, "nope"), feats, labels); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadedCitationTrainsARGA(t *testing.T) {
+	// The loaders exist so users can run the suite on their own graphs:
+	// prove the round trip by training ARGA on a loaded dataset.
+	dir := t.TempDir()
+	var eb, fb, lb strings.Builder
+	n := 40
+	for i := 0; i < n; i++ {
+		eb.WriteString(itoa(i) + " " + itoa((i+1)%n) + "\n")
+		eb.WriteString(itoa((i+1)%n) + " " + itoa(i) + "\n")
+		for j := 0; j < 8; j++ {
+			if (i+j)%3 == 0 {
+				fb.WriteString("1 ")
+			} else {
+				fb.WriteString("0 ")
+			}
+		}
+		fb.WriteString("\n")
+		lb.WriteString(itoa(i%2) + "\n")
+	}
+	ep := filepath.Join(dir, "e.txt")
+	fp := filepath.Join(dir, "f.txt")
+	lp := filepath.Join(dir, "l.txt")
+	os.WriteFile(ep, []byte(eb.String()), 0o644)
+	os.WriteFile(fp, []byte(fb.String()), 0o644)
+	os.WriteFile(lp, []byte(lb.String()), 0o644)
+
+	ds, err := LoadCitationFiles("mini", ep, fp, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adj.NNZ() != 2*n {
+		t.Fatalf("nnz = %d", ds.Adj.NNZ())
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,168 @@
+// Package ddp simulates PyTorch DistributedDataParallel training of the
+// GNNMark workloads on a multi-GPU NVLink node (the paper's 4xV100 EC2
+// instance, §V-E / Figure 9).
+//
+// The model is a timeline composition: per-GPU compute time comes from
+// actually running the workload on a simulated device with its per-device
+// batch shard (BatchDivisor = world size), and gradient synchronization adds
+// a ring-allreduce term per iteration:
+//
+//	t_comm = 2 (G-1)/G * gradBytes / BW  +  2 (G-1) * latency  +  hook
+//
+// Two pathologies the paper observes are reproduced structurally:
+//
+//   - PSAGE's batch sampler is DDP-incompatible, so every GPU processes the
+//     full batch (no compute reduction) while still paying synchronization:
+//     scaling degrades below 1x.
+//   - TLSTM is launch-overhead-bound; shrinking its shard barely reduces
+//     per-epoch time, so extra GPUs buy nothing.
+package ddp
+
+import (
+	"fmt"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+)
+
+// CommConfig parameterizes the interconnect and framework overhead.
+type CommConfig struct {
+	// NVLinkBandwidthGBps is the effective per-GPU allreduce bandwidth.
+	NVLinkBandwidthGBps float64
+	// NVLinkLatencyUS is the per-hop message latency in microseconds.
+	NVLinkLatencyUS float64
+	// HookOverheadUS is the per-iteration DDP bookkeeping cost (bucket
+	// assembly, reducer dispatch) in microseconds.
+	HookOverheadUS float64
+}
+
+// DefaultComm returns the 4xV100 NVLink node parameters (6 links, 300 GB/s
+// aggregate; allreduce achieves roughly half of peak in practice).
+func DefaultComm() CommConfig {
+	return CommConfig{
+		NVLinkBandwidthGBps: 150,
+		NVLinkLatencyUS:     1.9,
+		HookOverheadUS:      30,
+	}
+}
+
+// WorkloadFactory builds a fresh workload (and the device it runs on) with
+// the given per-device batch divisor. Each call must return an independent
+// instance: the simulator measures devices in isolation.
+type WorkloadFactory func(batchDivisor int) (models.Workload, *gpu.Device)
+
+// Result is the simulated outcome for one world size.
+type Result struct {
+	GPUs           int
+	EpochSeconds   float64
+	ComputeSeconds float64
+	CommSeconds    float64
+	Speedup        float64 // vs the 1-GPU epoch time
+	Replicated     bool    // data was replicated (DDP-incompatible sampler)
+	Iterations     int
+	GradBytesPerIt uint64
+}
+
+// allreduceSeconds returns the per-iteration gradient synchronization cost.
+func allreduceSeconds(cfg CommConfig, gpus int, gradBytes uint64) float64 {
+	if gpus <= 1 {
+		return 0
+	}
+	g := float64(gpus)
+	bw := cfg.NVLinkBandwidthGBps * 1e9
+	transfer := 2 * (g - 1) / g * float64(gradBytes) / bw
+	latency := 2 * (g - 1) * cfg.NVLinkLatencyUS * 1e-6
+	hook := cfg.HookOverheadUS * 1e-6
+	return transfer + latency + hook
+}
+
+// StrongScaling measures epoch time for each world size with the global
+// batch fixed (per-GPU shard = batch / G). The workload trains warmup+1
+// epochs; the last epoch is measured, matching the paper's average-epoch
+// methodology (they report time-per-epoch over five epochs with stable
+// variance).
+func StrongScaling(factory WorkloadFactory, gpuCounts []int, cfg CommConfig) []Result {
+	results := make([]Result, 0, len(gpuCounts))
+	var base float64
+	for _, g := range gpuCounts {
+		if g < 1 {
+			panic(fmt.Sprintf("ddp: invalid GPU count %d", g))
+		}
+		w, dev := factory(g)
+		replicated := false
+		if g > 1 && !w.DDPCompatible() {
+			// Sampler cannot shard: rebuild with the full batch per GPU.
+			w, dev = factory(1)
+			replicated = true
+		}
+		gradBytes := uint64(nn.ParamBytes(w.Params()))
+
+		dev.ResetClock()
+		w.TrainEpoch()
+		compute := dev.ElapsedSeconds()
+
+		iters := w.IterationsPerEpoch()
+		comm := float64(iters) * allreduceSeconds(cfg, g, gradBytes)
+		if replicated {
+			// Every replica pulls the same batches over the shared host
+			// link: H2D time multiplies with world size (the "unnecessary
+			// communication" of the paper's PSAGE observation).
+			comm += float64(g-1) * dev.TransferSeconds()
+		}
+		epoch := compute + comm
+
+		r := Result{
+			GPUs:           g,
+			EpochSeconds:   epoch,
+			ComputeSeconds: compute,
+			CommSeconds:    comm,
+			Replicated:     replicated,
+			Iterations:     iters,
+		}
+		r.GradBytesPerIt = gradBytes
+		if g == 1 {
+			base = epoch
+		}
+		if base > 0 {
+			r.Speedup = base / epoch
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// WeakScaling measures epoch time with a fixed per-GPU batch (divisor 1 for
+// every world size): the paper's future-work study. Compute stays constant;
+// only communication grows.
+func WeakScaling(factory WorkloadFactory, gpuCounts []int, cfg CommConfig) []Result {
+	results := make([]Result, 0, len(gpuCounts))
+	var base float64
+	for _, g := range gpuCounts {
+		w, dev := factory(1)
+		gradBytes := uint64(nn.ParamBytes(w.Params()))
+		dev.ResetClock()
+		w.TrainEpoch()
+		compute := dev.ElapsedSeconds()
+		iters := w.IterationsPerEpoch()
+		comm := float64(iters) * allreduceSeconds(cfg, g, gradBytes)
+		epoch := compute + comm
+		r := Result{
+			GPUs:           g,
+			EpochSeconds:   epoch,
+			ComputeSeconds: compute,
+			CommSeconds:    comm,
+			Iterations:     iters,
+		}
+		r.GradBytesPerIt = gradBytes
+		if g == 1 {
+			base = epoch
+		}
+		if base > 0 {
+			// Weak-scaling efficiency: ideal is 1.0 (flat epoch time).
+			r.Speedup = base / epoch
+		}
+		results = append(results, r)
+	}
+	return results
+}

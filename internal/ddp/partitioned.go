@@ -1,0 +1,68 @@
+package ddp
+
+import (
+	"gnnmark/internal/graph"
+)
+
+// PartitionedResult is one world size of the partitioned full-graph study.
+type PartitionedResult struct {
+	GPUs           int
+	EpochSeconds   float64
+	ComputeSeconds float64
+	// HaloSeconds is the per-epoch boundary-feature exchange cost.
+	HaloSeconds float64
+	EdgeCut     int
+	Speedup     float64
+}
+
+// PartitionedFullGraph estimates multi-GPU full-graph training with
+// ROC/NeuGraph-style graph partitioning — the approach the paper says
+// high-level frameworks should adopt (its DDP study cannot scale ARGA at
+// all, since full-graph training does not shard by batch).
+//
+// Each GPU owns one BFS-grown partition; per-epoch compute scales with the
+// largest partition's node share (load imbalance included), and every GNN
+// layer exchanges boundary-node features across the cut:
+//
+//	halo = layers * iters * cutEdges * featureDim * 4 bytes  over NVLink.
+//
+// singleEpochSeconds is the measured 1-GPU epoch time; itersPerEpoch the
+// iteration count; layers the model's propagation depth.
+func PartitionedFullGraph(adj *graph.CSR, featureDim, layers int,
+	singleEpochSeconds float64, itersPerEpoch int, cfg CommConfig, gpuCounts []int) []PartitionedResult {
+
+	n := adj.Rows
+	var out []PartitionedResult
+	var base float64
+	for _, g := range gpuCounts {
+		parts, cut := graph.PartitionBFS(adj, g)
+		maxPart := 0
+		for _, s := range graph.PartitionSizes(parts, g) {
+			if s > maxPart {
+				maxPart = s
+			}
+		}
+		compute := singleEpochSeconds * float64(maxPart) / float64(n)
+		halo := 0.0
+		if g > 1 {
+			bytes := float64(layers*itersPerEpoch) * float64(cut) * float64(featureDim) * 4
+			halo = bytes/(cfg.NVLinkBandwidthGBps*1e9) +
+				float64(layers*itersPerEpoch)*float64(g-1)*cfg.NVLinkLatencyUS*1e-6
+		}
+		r := PartitionedResult{
+			GPUs:           g,
+			EpochSeconds:   compute + halo,
+			ComputeSeconds: compute,
+			HaloSeconds:    halo,
+			EdgeCut:        cut,
+		}
+		if g == 1 {
+			base = r.EpochSeconds
+		}
+		if base > 0 {
+			r.Speedup = base / r.EpochSeconds
+		}
+		out = append(out, r)
+	}
+	return out
+}

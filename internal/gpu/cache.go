@@ -1,0 +1,124 @@
+package gpu
+
+// Cache is a set-associative LRU cache simulator operating on line-granular
+// addresses. It is deliberately minimal: a tag store only, no data, no
+// write-back modeling (stores allocate like loads, approximating the
+// write-allocate behavior of GPU L1/L2 sector caches).
+type Cache struct {
+	lineBytes int
+	numSets   int
+	ways      int
+	lineShift uint
+	setMask   uint64
+
+	// tags[set*ways+way] holds the line tag; order[set*ways+way] the LRU
+	// stamp. valid bit encoded as tag != invalidTag.
+	tags  []uint64
+	order []uint64
+	clock uint64
+
+	hits   uint64
+	misses uint64
+}
+
+const invalidTag = ^uint64(0)
+
+// NewCache builds a cache of the given total size, line size, and
+// associativity. Sizes that do not divide evenly are rounded down to a whole
+// number of sets (minimum one).
+func NewCache(sizeBytes, lineBytes, ways int) *Cache {
+	if lineBytes <= 0 || ways <= 0 || sizeBytes <= 0 {
+		panic("gpu: NewCache requires positive geometry")
+	}
+	numSets := sizeBytes / (lineBytes * ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two so set indexing is a mask.
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{
+		lineBytes: lineBytes,
+		numSets:   numSets,
+		ways:      ways,
+		lineShift: shift,
+		setMask:   uint64(numSets - 1),
+		tags:      make([]uint64, numSets*ways),
+		order:     make([]uint64, numSets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// AccessLine touches the line containing addr and reports whether it hit.
+// On a miss the LRU way of the set is replaced.
+func (c *Cache) AccessLine(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	c.clock++
+
+	lruWay, lruStamp := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		idx := base + w
+		if c.tags[idx] == line {
+			c.order[idx] = c.clock
+			c.hits++
+			return true
+		}
+		if c.order[idx] < lruStamp {
+			lruStamp = c.order[idx]
+			lruWay = w
+		}
+	}
+	idx := base + lruWay
+	c.tags[idx] = line
+	c.order[idx] = c.clock
+	c.misses++
+	return false
+}
+
+// Hits returns the hit counter.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss counter.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or zero when no accesses occurred.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetCounters zeroes the hit/miss counters but keeps cache contents,
+// allowing per-kernel accounting over a warm cache.
+func (c *Cache) ResetCounters() { c.hits, c.misses = 0, 0 }
+
+// Invalidate empties the cache and zeroes the counters.
+func (c *Cache) Invalidate() {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.order[i] = 0
+	}
+	c.clock = 0
+	c.ResetCounters()
+}

@@ -1,0 +1,87 @@
+// Package gpu implements an analytical, trace-driven performance model of an
+// NVIDIA V100-class GPU. It is the hardware substrate for the GNNMark
+// reproduction: tensor operations lower to Kernel descriptors carrying
+// instruction mixes and (possibly data-dependent) memory-access streams, and
+// the Device turns each launch into the counters an nvprof/NVBit pipeline
+// would report — kernel latency, cache hit rates, warp-level memory
+// divergence, stall attribution, and achieved FLOP/IOP rates.
+//
+// The model is deliberately not cycle-accurate: the paper's figures are
+// ratios and breakdowns, and the model is calibrated so the *shapes* of
+// those figures (which op classes dominate, where caches fail, which
+// workloads scale) are preserved. All parameters live in Config.
+package gpu
+
+import "fmt"
+
+// OpClass categorizes a kernel by the GNNMark operation taxonomy (paper
+// §V-A): the classes the execution-time breakdown of Figure 2 is drawn over.
+type OpClass uint8
+
+const (
+	// OpGEMM is a dense general matrix-matrix (or matrix-vector) multiply.
+	OpGEMM OpClass = iota
+	// OpSpMM is a sparse-dense matrix multiply (graph aggregation).
+	OpSpMM
+	// OpConv is a dense convolution (STGCN temporal convs).
+	OpConv
+	// OpScatter writes values to data-dependent destinations.
+	OpScatter
+	// OpGather reads values from data-dependent sources.
+	OpGather
+	// OpReduction folds a tensor along one or more axes (sum, max, mean).
+	OpReduction
+	// OpIndexSelect materializes rows of a tensor selected by an index list.
+	OpIndexSelect
+	// OpSort covers sorting and argsort kernels (neighbor bucketing etc.).
+	OpSort
+	// OpElementWise covers pointwise kernels: add, mul, activation, copy.
+	OpElementWise
+	// OpBatchNorm covers batch/layer normalization kernels.
+	OpBatchNorm
+	// OpEmbedding is an embedding-table lookup (a specialized gather).
+	OpEmbedding
+	// OpTransfer is a host-to-device or device-to-host copy.
+	OpTransfer
+	// OpComm is inter-GPU communication (all-reduce and friends).
+	OpComm
+	// OpOther is anything that does not fit the taxonomy.
+	OpOther
+
+	// NumOpClasses is the number of distinct operation classes.
+	NumOpClasses = int(OpOther) + 1
+)
+
+var opClassNames = [NumOpClasses]string{
+	"GEMM", "SpMM", "Conv", "Scatter", "Gather", "Reduction",
+	"IndexSelect", "Sort", "ElementWise", "BatchNorm", "Embedding",
+	"Transfer", "Comm", "Other",
+}
+
+// String returns the canonical short name used in reports.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("OpClass(%d)", uint8(c))
+}
+
+// AllOpClasses lists every class in display order.
+func AllOpClasses() []OpClass {
+	out := make([]OpClass, NumOpClasses)
+	for i := range out {
+		out[i] = OpClass(i)
+	}
+	return out
+}
+
+// IsGraphOp reports whether the class is one of the irregular "graph
+// aggregation phase" operations the paper singles out (scatter, gather,
+// reduction, index selection, sort).
+func (c OpClass) IsGraphOp() bool {
+	switch c {
+	case OpScatter, OpGather, OpReduction, OpIndexSelect, OpSort:
+		return true
+	}
+	return false
+}

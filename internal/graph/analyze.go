@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DegreeStats summarizes a CSR's in-degree distribution: the knobs that
+// drive GNN kernel behavior (SpMM row lengths, gather fan-in, load balance).
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// P50, P90, P99 are degree percentiles.
+	P50, P90, P99 int
+	// Gini is the degree Gini coefficient in [0,1]: 0 = perfectly regular,
+	// near 1 = extremely skewed (scale-free graphs score high).
+	Gini float64
+}
+
+// Degrees computes the in-degree distribution statistics of g.
+func Degrees(g *CSR) DegreeStats {
+	if g.Rows == 0 {
+		return DegreeStats{}
+	}
+	ds := make([]int, g.Rows)
+	sum := 0
+	for i := 0; i < g.Rows; i++ {
+		ds[i] = g.Degree(i)
+		sum += ds[i]
+	}
+	sort.Ints(ds)
+	pct := func(p float64) int { return ds[int(p*float64(len(ds)-1))] }
+	st := DegreeStats{
+		Min:  ds[0],
+		Max:  ds[len(ds)-1],
+		Mean: float64(sum) / float64(g.Rows),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+	}
+	// Gini over the sorted degree sequence.
+	if sum > 0 {
+		var cum float64
+		for i, d := range ds {
+			cum += float64(d) * float64(2*(i+1)-len(ds)-1)
+		}
+		st.Gini = cum / (float64(len(ds)) * float64(sum))
+		st.Gini = math.Abs(st.Gini)
+	}
+	return st
+}
+
+// ConnectedComponents labels each node of a square adjacency with its
+// weakly-connected-component id (0-based, in discovery order) and returns
+// the labels plus the component count.
+func ConnectedComponents(g *CSR) (labels []int32, count int) {
+	if g.Rows != g.Cols {
+		panic("graph: ConnectedComponents requires a square adjacency")
+	}
+	// Build the symmetric neighbor view once (weak connectivity).
+	rev := g.Transpose()
+	labels = make([]int32, g.Rows)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int32
+	for start := 0; start < g.Rows; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		stack = append(stack[:0], int32(start))
+		labels[start] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.Neighbors(int(v)) {
+				if labels[nb] < 0 {
+					labels[nb] = id
+					stack = append(stack, nb)
+				}
+			}
+			for _, nb := range rev.Neighbors(int(v)) {
+				if labels[nb] < 0 {
+					labels[nb] = id
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// node connects to its k nearest neighbors (k even), with each edge rewired
+// to a random target with probability beta. Edges are stored both ways.
+// Sensor and communication networks — the dynamic-graph domain of the paper
+// — have this shape.
+func WattsStrogatz(rng *rand.Rand, n, k int, beta float64) *CSR {
+	if k%2 != 0 || k <= 0 || n <= k {
+		panic("graph: WattsStrogatz requires even 0 < k < n")
+	}
+	type pair = [2]int32
+	seen := map[pair]bool{}
+	addEdge := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seen[pair{a, b}] {
+			return false
+		}
+		seen[pair{a, b}] = true
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			u, v := int32(i), int32((i+d)%n)
+			if rng.Float64() < beta {
+				// Rewire to a random target, keeping the source endpoint.
+				for tries := 0; tries < 8; tries++ {
+					w := int32(rng.Intn(n))
+					if addEdge(u, w) {
+						v = -1
+						break
+					}
+				}
+				if v == -1 {
+					continue
+				}
+			}
+			addEdge(u, v)
+		}
+	}
+	edges := make([]Edge, 0, 2*len(seen))
+	for p := range seen {
+		edges = append(edges, Edge{Src: p[0], Dst: p[1]}, Edge{Src: p[1], Dst: p[0]})
+	}
+	return FromEdges(n, n, edges)
+}

@@ -1,0 +1,152 @@
+package graph
+
+import "fmt"
+
+// KTupleGraph constructs the higher-order graph used by hierarchical k-GNNs
+// (Morris et al.): nodes are the connected k-element subsets of the input
+// graph's vertices, and two subsets are adjacent when they differ in exactly
+// one vertex. The "local" variant here only materializes connected subsets,
+// which is the practical construction used by the reference implementation.
+//
+// TupleIndex maps each k-tuple node back to its member vertices so feature
+// initialization can pool base-graph features.
+type KTupleGraph struct {
+	Adj *CSR
+	// Tuples[i] lists the k member vertices of higher-order node i, sorted.
+	Tuples [][]int32
+}
+
+// BuildKTuple builds the k-tuple graph for k = 2 or 3 over a square
+// undirected adjacency. Larger k is rejected: the construction is
+// exponential and the paper's suite stops at 3 (KGNNH).
+func BuildKTuple(g *CSR, k int) *KTupleGraph {
+	if g.Rows != g.Cols {
+		panic("graph: BuildKTuple requires a square adjacency")
+	}
+	switch k {
+	case 2:
+		return build2Tuple(g)
+	case 3:
+		return build3Tuple(g)
+	default:
+		panic(fmt.Sprintf("graph: BuildKTuple supports k=2,3, got %d", k))
+	}
+}
+
+func build2Tuple(g *CSR) *KTupleGraph {
+	n := g.Rows
+	id := map[[2]int32]int32{}
+	var tuples [][]int32
+	add := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int32{a, b}
+		if _, ok := id[key]; !ok {
+			id[key] = int32(len(tuples))
+			tuples = append(tuples, []int32{a, b})
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u != int32(v) {
+				add(int32(v), u)
+			}
+		}
+	}
+	// Two 2-tuples are adjacent when they share exactly one vertex.
+	var edges []Edge
+	byVertex := make([][]int32, n)
+	for tid, t := range tuples {
+		byVertex[t[0]] = append(byVertex[t[0]], int32(tid))
+		byVertex[t[1]] = append(byVertex[t[1]], int32(tid))
+	}
+	for _, members := range byVertex {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				edges = append(edges,
+					Edge{Src: members[i], Dst: members[j]},
+					Edge{Src: members[j], Dst: members[i]})
+			}
+		}
+	}
+	return &KTupleGraph{Adj: dedupeEdges(len(tuples), edges), Tuples: tuples}
+}
+
+func build3Tuple(g *CSR) *KTupleGraph {
+	n := g.Rows
+	id := map[[3]int32]int32{}
+	var tuples [][]int32
+	add := func(a, b, c int32) {
+		t := sort3(a, b, c)
+		if t[0] == t[1] || t[1] == t[2] {
+			return
+		}
+		if _, ok := id[t]; !ok {
+			id[t] = int32(len(tuples))
+			tuples = append(tuples, []int32{t[0], t[1], t[2]})
+		}
+	}
+	// Connected 3-subsets: an edge (u,v) plus a neighbor of either endpoint.
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == int32(v) {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if w != u && w != int32(v) {
+					add(int32(v), u, w)
+				}
+			}
+			for _, w := range g.Neighbors(int(u)) {
+				if w != int32(v) && w != u {
+					add(int32(v), u, w)
+				}
+			}
+		}
+	}
+	var edges []Edge
+	pairIndex := map[[2]int32][]int32{}
+	for tid, t := range tuples {
+		pairs := [3][2]int32{{t[0], t[1]}, {t[0], t[2]}, {t[1], t[2]}}
+		for _, p := range pairs {
+			pairIndex[p] = append(pairIndex[p], int32(tid))
+		}
+	}
+	for _, members := range pairIndex {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				edges = append(edges,
+					Edge{Src: members[i], Dst: members[j]},
+					Edge{Src: members[j], Dst: members[i]})
+			}
+		}
+	}
+	return &KTupleGraph{Adj: dedupeEdges(len(tuples), edges), Tuples: tuples}
+}
+
+func sort3(a, b, c int32) [3]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int32{a, b, c}
+}
+
+func dedupeEdges(n int, edges []Edge) *CSR {
+	seen := map[[2]int32]bool{}
+	out := edges[:0]
+	for _, e := range edges {
+		key := [2]int32{e.Src, e.Dst}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	return FromEdges(n, n, out)
+}

@@ -1,0 +1,82 @@
+package graph
+
+// PartitionBFS splits a square adjacency into k balanced parts by seeded
+// BFS region growing: a lightweight stand-in for METIS-style partitioners.
+// The paper's multi-GPU takeaway is that "fine-grained graph partitioning
+// ... proposed in graph-centric GNN frameworks such as ROC and NeuGraph
+// should be adopted"; this is the primitive that study needs.
+//
+// Returns the part id per node and the edge cut (edges whose endpoints land
+// in different parts).
+func PartitionBFS(g *CSR, k int) (parts []int32, edgeCut int) {
+	if g.Rows != g.Cols {
+		panic("graph: PartitionBFS requires a square adjacency")
+	}
+	if k <= 0 {
+		panic("graph: PartitionBFS requires k > 0")
+	}
+	n := g.Rows
+	parts = make([]int32, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	if n == 0 {
+		return parts, 0
+	}
+	target := (n + k - 1) / k
+	rev := g.Transpose()
+
+	part := int32(0)
+	size := 0
+	var queue []int32
+	next := 0 // next unassigned node scan cursor
+	for assigned := 0; assigned < n; {
+		if len(queue) == 0 {
+			// Seed a new BFS from the lowest unassigned node.
+			for next < n && parts[next] >= 0 {
+				next++
+			}
+			queue = append(queue, int32(next))
+			parts[next] = part
+			size++
+			assigned++
+		}
+		v := queue[0]
+		queue = queue[1:]
+		grow := func(nbrs []int32) {
+			for _, nb := range nbrs {
+				if parts[nb] < 0 && size < target {
+					parts[nb] = part
+					size++
+					assigned++
+					queue = append(queue, nb)
+				}
+			}
+		}
+		grow(g.Neighbors(int(v)))
+		grow(rev.Neighbors(int(v)))
+		if size >= target && part < int32(k-1) {
+			part++
+			size = 0
+			queue = queue[:0]
+		}
+	}
+
+	for dst := 0; dst < n; dst++ {
+		for _, src := range g.Neighbors(dst) {
+			if parts[src] != parts[dst] {
+				edgeCut++
+			}
+		}
+	}
+	return parts, edgeCut
+}
+
+// PartitionSizes returns the node count of each part.
+func PartitionSizes(parts []int32, k int) []int {
+	sizes := make([]int, k)
+	for _, p := range parts {
+		sizes[p]++
+	}
+	return sizes
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionBFSBalancedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PreferentialAttachment(rng, 400, 3)
+	for _, k := range []int{1, 2, 4} {
+		parts, cut := PartitionBFS(g, k)
+		if len(parts) != g.Rows {
+			t.Fatalf("k=%d: %d labels", k, len(parts))
+		}
+		for i, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: node %d part %d out of range", k, i, p)
+			}
+		}
+		sizes := PartitionSizes(parts, k)
+		for _, s := range sizes {
+			if s < g.Rows/(2*k) {
+				t.Fatalf("k=%d: unbalanced sizes %v", k, sizes)
+			}
+		}
+		if k == 1 && cut != 0 {
+			t.Fatalf("single part has cut %d", cut)
+		}
+		if k > 1 && cut == 0 {
+			t.Fatalf("k=%d: connected graph must have a nonzero cut", k)
+		}
+	}
+}
+
+func TestPartitionBFSLocalityBeatsRandom(t *testing.T) {
+	// BFS region growing should cut far fewer edges than a random split on
+	// a locality-rich graph.
+	rng := rand.New(rand.NewSource(4))
+	g := WattsStrogatz(rng, 300, 6, 0.05)
+	_, bfsCut := PartitionBFS(g, 4)
+
+	randParts := make([]int32, g.Rows)
+	for i := range randParts {
+		randParts[i] = int32(rng.Intn(4))
+	}
+	randCut := 0
+	for dst := 0; dst < g.Rows; dst++ {
+		for _, src := range g.Neighbors(dst) {
+			if randParts[src] != randParts[dst] {
+				randCut++
+			}
+		}
+	}
+	if bfsCut >= randCut/2 {
+		t.Fatalf("BFS cut %d not clearly below random cut %d", bfsCut, randCut)
+	}
+}
+
+func TestPartitionBFSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for k=0")
+		}
+	}()
+	PartitionBFS(triangle(), 0)
+}

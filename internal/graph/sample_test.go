@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bipartiteFixture builds a small item-user graph: items {0..3}, users
+// {0..2}. User 0 touched items {0,1}, user 1 items {1,2}, user 2 items {2,3}.
+func bipartiteFixture() (itemUsers, userItems *CSR) {
+	ui := []Edge{ // src=user, dst=item
+		{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 3},
+	}
+	itemUsers = FromEdges(4, 3, ui) // rows: items, cols: users
+	rev := make([]Edge, len(ui))
+	for i, e := range ui {
+		rev[i] = Edge{Src: e.Dst, Dst: e.Src}
+	}
+	userItems = FromEdges(3, 4, rev) // rows: users, cols: items
+	return
+}
+
+func TestRandomWalkSample(t *testing.T) {
+	itemUsers, userItems := bipartiteFixture()
+	s := NewRandomWalkSampler(itemUsers, userItems, 50, 3, 2)
+	rng := rand.New(rand.NewSource(9))
+	got := s.Sample(rng, 1)
+
+	if got.Seed != 1 {
+		t.Fatal("seed mangled")
+	}
+	if len(got.Neighbors) == 0 || len(got.Neighbors) > 2 {
+		t.Fatalf("neighbors = %v, want 1..2", got.Neighbors)
+	}
+	// Item 1 can reach items 0 and 2 in one hop; never itself.
+	for _, nb := range got.Neighbors {
+		if nb == 1 {
+			t.Fatal("seed must not be its own neighbor")
+		}
+	}
+	// Weights normalized and decreasing.
+	var sum float32
+	for i, w := range got.Weights {
+		sum += w
+		if i > 0 && w > got.Weights[i-1] {
+			t.Fatal("weights must be ranked descending")
+		}
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("weights sum = %g, want 1", sum)
+	}
+}
+
+func TestRandomWalkDeterministicPerSeed(t *testing.T) {
+	itemUsers, userItems := bipartiteFixture()
+	s := NewRandomWalkSampler(itemUsers, userItems, 20, 2, 3)
+	a := s.Sample(rand.New(rand.NewSource(4)), 2)
+	b := s.Sample(rand.New(rand.NewSource(4)), 2)
+	if len(a.Neighbors) != len(b.Neighbors) {
+		t.Fatal("sampler not deterministic")
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("sampler not deterministic")
+		}
+	}
+}
+
+func TestRandomWalkIsolatedItem(t *testing.T) {
+	// An item with no users yields an empty sample rather than a panic.
+	itemUsers := FromEdges(2, 1, []Edge{{Src: 0, Dst: 0}}) // item 1 isolated
+	userItems := FromEdges(1, 2, []Edge{{Src: 0, Dst: 0}})
+	s := NewRandomWalkSampler(itemUsers, userItems, 10, 2, 3)
+	got := s.Sample(rand.New(rand.NewSource(1)), 1)
+	if len(got.Neighbors) != 0 {
+		t.Fatalf("isolated item produced neighbors %v", got.Neighbors)
+	}
+}
+
+func TestUniformNeighbors(t *testing.T) {
+	g := FromEdges(4, 4, []Edge{{1, 0}, {2, 0}, {3, 0}})
+	rng := rand.New(rand.NewSource(2))
+
+	all := UniformNeighbors(rng, g, 0, 10)
+	if len(all) != 3 {
+		t.Fatalf("want all 3 neighbors, got %v", all)
+	}
+	some := UniformNeighbors(rng, g, 0, 2)
+	if len(some) != 2 {
+		t.Fatalf("want 2 sampled neighbors, got %v", some)
+	}
+	seen := map[int32]bool{}
+	for _, v := range some {
+		if seen[v] {
+			t.Fatal("sampling must be without replacement")
+		}
+		seen[v] = true
+		if v < 1 || v > 3 {
+			t.Fatalf("sampled non-neighbor %d", v)
+		}
+	}
+	if got := UniformNeighbors(rng, g, 1, 4); len(got) != 0 {
+		t.Fatalf("node with no in-edges returned %v", got)
+	}
+	// Original adjacency must be untouched by the shuffle.
+	nb := g.Neighbors(0)
+	if nb[0] != 1 || nb[1] != 2 || nb[2] != 3 {
+		t.Fatal("UniformNeighbors mutated the CSR")
+	}
+}

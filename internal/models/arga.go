@@ -1,0 +1,155 @@
+package models
+
+import (
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/datasets"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/tensor"
+)
+
+// ARGA is the Adversarially Regularized Graph Autoencoder (Pan et al.):
+// a two-layer GCN encoder with PReLU activations, an inner-product decoder
+// reconstructing the adjacency, and an MLP discriminator pushing the
+// embedding distribution toward a Gaussian prior. It trains on the full
+// graph every iteration — which is why the paper excludes it from the
+// multi-GPU study (§V-E).
+type ARGA struct {
+	env *Env
+	ds  *datasets.Citation
+
+	adj, adjT *graph.CSR
+
+	enc1, enc2 *nn.Linear
+	alpha1     *autograd.Param // PReLU slopes
+	disc1      *nn.Linear
+	disc2      *nn.Linear
+
+	opt     nn.Optimizer
+	hidden  int
+	embed   int
+	recon   *tensor.Tensor // dense target adjacency (cached)
+	recones []int32
+}
+
+// ARGAConfig holds ARGA's hyperparameters.
+type ARGAConfig struct {
+	Hidden int // encoder hidden width (default 32)
+	Embed  int // embedding width (default 16)
+	LR     float32
+}
+
+// NewARGA builds the workload on a citation dataset.
+func NewARGA(env *Env, ds *datasets.Citation, cfg ARGAConfig) *ARGA {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 32
+	}
+	if cfg.Embed == 0 {
+		cfg.Embed = 16
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.005
+	}
+	adj := ds.Adj.NormalizeGCN()
+	a := &ARGA{
+		env:    env,
+		ds:     ds,
+		adj:    adj,
+		adjT:   adj.Transpose(),
+		enc1:   nn.NewLinear(env.RNG, "arga.enc1", ds.Features.Dim(1), cfg.Hidden, true),
+		enc2:   nn.NewLinear(env.RNG, "arga.enc2", cfg.Hidden, cfg.Embed, true),
+		alpha1: autograd.NewParam("arga.prelu", tensor.FromSlice([]float32{0.25}, 1)),
+		disc1:  nn.NewLinear(env.RNG, "arga.disc1", cfg.Embed, 32, true),
+		disc2:  nn.NewLinear(env.RNG, "arga.disc2", 32, 1, true),
+		hidden: cfg.Hidden,
+		embed:  cfg.Embed,
+	}
+	a.opt = nn.NewAdam(env.E, a.Params(), cfg.LR)
+
+	// Dense reconstruction target (n is small for citation graphs).
+	n := adj.Rows
+	a.recon = tensor.New(n, n)
+	for dst := 0; dst < n; dst++ {
+		for _, src := range ds.Adj.Neighbors(dst) {
+			a.recon.Set(1, dst, int(src))
+		}
+		a.recon.Set(1, dst, dst)
+	}
+	return a
+}
+
+// Name implements Workload.
+func (a *ARGA) Name() string { return "ARGA" }
+
+// DatasetName implements Workload.
+func (a *ARGA) DatasetName() string { return a.ds.Name }
+
+// DDPCompatible implements Workload: full-graph training does not shard.
+func (a *ARGA) DDPCompatible() bool { return false }
+
+// IterationsPerEpoch implements Workload.
+func (a *ARGA) IterationsPerEpoch() int { return 1 }
+
+// Params implements Workload.
+func (a *ARGA) Params() []*autograd.Param {
+	ps := nn.CollectParams(a.enc1, a.enc2, a.disc1, a.disc2)
+	return append(ps, a.alpha1)
+}
+
+// encode runs the GCN encoder over the full graph.
+func (a *ARGA) encode(t *autograd.Tape, x *autograd.Var) *autograd.Var {
+	h := t.SpMM(a.adj, a.adjT, a.enc1.Forward(t, x))
+	h = t.PReLU(h, t.FromParam(a.alpha1))
+	return t.SpMM(a.adj, a.adjT, a.enc2.Forward(t, h))
+}
+
+// TrainEpoch implements Workload: one full-graph reconstruction +
+// adversarial step.
+func (a *ARGA) TrainEpoch() float64 {
+	a.env.iter()
+	e := a.env.E
+	// The whole graph's features move host-to-device every iteration: the
+	// paper notes the input graph can occupy up to 90% of GPU memory.
+	e.CopyH2D("arga.features", a.ds.Features)
+	// Sparse-adjacency coalesce: edge indices are sorted on-device before
+	// the SpMM pipeline consumes them, as torch sparse tensors do.
+	edgeKeys := make([]int32, 0, a.adj.NNZ())
+	for dst := 0; dst < a.adj.Rows; dst++ {
+		for _, src := range a.adj.Neighbors(dst) {
+			edgeKeys = append(edgeKeys, int32(dst)*int32(a.adj.Cols)+src)
+		}
+	}
+	e.SortInt32(edgeKeys)
+
+	t := autograd.NewTape(e)
+	z := a.encode(t, t.Const(a.ds.Features))
+
+	// Inner-product decoder: logits = Z Zᵀ against the adjacency target.
+	logits := t.MatMulTB(z, z)
+	reconLoss := t.BCEWithLogits(logits, a.recon)
+
+	// Adversarial regularization: discriminator scores embeddings (fake)
+	// against Gaussian samples (real); the encoder is trained to fool it.
+	// Generator side (non-saturating loss on the fake batch):
+	dFake := a.disc2.Forward(t, t.ReLU(a.disc1.Forward(t, z)))
+	genLoss := t.BCEWithLogits(dFake, tensor.Full(1, dFake.Value.Shape()...))
+
+	loss := t.Add(reconLoss, t.Scale(genLoss, 0.1))
+
+	a.env.Step(t, loss, a.Params(), a.opt, 0)
+
+	// Discriminator step on detached embeddings plus prior samples.
+	t2 := autograd.NewTape(e)
+	zDet := t2.Const(z.Value)
+	prior := tensor.Randn(a.env.RNG, 1, z.Value.Dim(0), a.embed)
+	e.CopyH2D("arga.prior", prior)
+	dReal := a.disc2.Forward(t2, t2.ReLU(a.disc1.Forward(t2, t2.Const(prior))))
+	dFake2 := a.disc2.Forward(t2, t2.ReLU(a.disc1.Forward(t2, zDet)))
+	dLoss := t2.Add(
+		t2.BCEWithLogits(dReal, tensor.Full(1, dReal.Value.Shape()...)),
+		t2.BCEWithLogits(dFake2, tensor.New(dFake2.Value.Shape()...)))
+	// Zero everything so the encoder is not double-stepped with stale grads.
+	a.env.Step(t2, dLoss, a.Params(), a.opt, 0)
+
+	return float64(loss.Value.At(0)) + float64(dLoss.Value.At(0))
+}

@@ -1,0 +1,83 @@
+// Package models implements the eight GNNMark workloads (paper Table I):
+//
+//	PSAGE  - PinSAGE recommendation on a bipartite hetero graph (MVL/NWP)
+//	STGCN  - spatio-temporal GCN for traffic forecasting (METR-LA)
+//	DGCN   - DeepGCN (ResGCN) molecular property prediction (ogbg-molhiv)
+//	GW     - GraphWriter knowledge-graph-to-text transformer (AGENDA)
+//	KGNNL  - hierarchical 1-2-GNN protein classification (PROTEINS)
+//	KGNNH  - hierarchical 1-2-3-GNN protein classification (PROTEINS)
+//	ARGA   - adversarially regularized graph autoencoder (Cora/...)
+//	TLSTM  - child-sum Tree-LSTM sentiment classification (SST)
+//
+// Every model trains for real (losses decrease) while emitting the kernel
+// stream the characterization pipeline profiles.
+package models
+
+import (
+	"math/rand"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/ops"
+)
+
+// Env bundles what a workload needs to run: the op engine (device-attached
+// or nil), a seeded RNG, and an iteration hook the profiler uses to tag
+// transfer samples per training iteration.
+type Env struct {
+	E   *ops.Engine
+	RNG *rand.Rand
+	// OnIteration, when non-nil, is invoked once per training iteration
+	// (minibatch) before its transfers are issued.
+	OnIteration func()
+	// Training selects whether Step backpropagates and updates parameters
+	// (true, default) or leaves the iteration forward-only — the paper's
+	// future-work inference-characterization mode, using the trained (or
+	// initialized) models to drive inference studies.
+	Training bool
+}
+
+// NewEnv builds an Env with a fresh seeded RNG, in training mode.
+func NewEnv(e *ops.Engine, seed int64) *Env {
+	return &Env{E: e, RNG: rand.New(rand.NewSource(seed)), Training: true}
+}
+
+func (env *Env) iter() {
+	if env.OnIteration != nil {
+		env.OnIteration()
+	}
+}
+
+// Step finishes one iteration: in training mode it zeroes gradients,
+// backpropagates the scalar loss, optionally clips the global gradient norm
+// (clipNorm > 0), and applies the optimizer; in inference mode it is a
+// no-op, so the device trace contains only the forward pass.
+func (env *Env) Step(t *autograd.Tape, loss *autograd.Var, params []*autograd.Param, opt nn.Optimizer, clipNorm float32) {
+	if !env.Training {
+		return
+	}
+	nn.ZeroGrads(params)
+	t.Backward(loss)
+	if clipNorm > 0 {
+		nn.ClipGradNorm(params, clipNorm)
+	}
+	opt.Step()
+}
+
+// Workload is the uniform interface of all eight models.
+type Workload interface {
+	// Name returns the paper's workload mnemonic (PSAGE, STGCN, ...).
+	Name() string
+	// DatasetName returns the dataset identifier (MVL, Cora, ...).
+	DatasetName() string
+	// Params returns all trainable parameters.
+	Params() []*autograd.Param
+	// TrainEpoch runs one epoch and returns the mean loss.
+	TrainEpoch() float64
+	// IterationsPerEpoch returns the number of optimizer steps per epoch.
+	IterationsPerEpoch() int
+	// DDPCompatible reports whether the workload's sampling strategy
+	// partitions cleanly under PyTorch-DDP-style data parallelism; PSAGE's
+	// batch sampler does not (paper §V-E), so its data is replicated.
+	DDPCompatible() bool
+}

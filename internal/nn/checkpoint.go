@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gnnmark/internal/autograd"
+)
+
+// Checkpointing serializes parameter sets so trained models can be saved
+// and restored — the mechanism behind the paper's plan to "provide a set of
+// pretrained models" for inference studies. The format is a simple
+// length-prefixed binary stream: magic, parameter count, then per parameter
+// its name, shape, and float32 data, all little-endian.
+
+const checkpointMagic = "GNNMARK1"
+
+// SaveParams writes params to w. Parameter order is preserved and must
+// match at load time (the layers' construction order is deterministic).
+func SaveParams(w io.Writer, params []*autograd.Param) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return fmt.Errorf("nn: writing checkpoint magic: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: writing parameter count: %w", err)
+	}
+	for _, p := range params {
+		if err := writeString(w, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return fmt.Errorf("nn: writing %s rank: %w", p.Name, err)
+		}
+		for _, d := range shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return fmt.Errorf("nn: writing %s shape: %w", p.Name, err)
+			}
+		}
+		buf := make([]byte, 4*p.Value.Size())
+		for i, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("nn: writing %s data: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams restores a checkpoint into params, which must match the saved
+// set in order, name, and shape.
+func LoadParams(r io.Reader, params []*autograd.Param) error {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: not a gnnmark checkpoint (magic %q)", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading parameter count: %w", err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: checkpoint parameter %q does not match model's %q", name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return fmt.Errorf("nn: reading %s rank: %w", name, err)
+		}
+		shape := p.Value.Shape()
+		if int(rank) != len(shape) {
+			return fmt.Errorf("nn: %s rank %d, model expects %d", name, rank, len(shape))
+		}
+		for i := range shape {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return fmt.Errorf("nn: reading %s shape: %w", name, err)
+			}
+			if int(d) != shape[i] {
+				return fmt.Errorf("nn: %s dim %d is %d, model expects %d", name, i, d, shape[i])
+			}
+		}
+		buf := make([]byte, 4*p.Value.Size())
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nn: reading %s data: %w", name, err)
+		}
+		for i := range p.Value.Data() {
+			p.Value.Data()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return fmt.Errorf("nn: writing string length: %w", err)
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("nn: writing string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("nn: reading string length: %w", err)
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("nn: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("nn: reading string: %w", err)
+	}
+	return string(buf), nil
+}

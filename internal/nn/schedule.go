@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// LRSchedule computes a learning-rate multiplier per optimizer step.
+// Schedules compose with any Optimizer whose LR field they drive.
+type LRSchedule interface {
+	// Factor returns the multiplier for 1-based step number.
+	Factor(step int) float64
+}
+
+// StepDecay halves (or scales by Gamma) the rate every Interval steps.
+type StepDecay struct {
+	Interval int
+	Gamma    float64
+}
+
+// Factor implements LRSchedule.
+func (s StepDecay) Factor(step int) float64 {
+	if s.Interval <= 0 {
+		return 1
+	}
+	g := s.Gamma
+	if g == 0 {
+		g = 0.5
+	}
+	return math.Pow(g, float64((step-1)/s.Interval))
+}
+
+// Warmup ramps linearly from 0 to 1 over WarmupSteps, then decays with the
+// inverse square root of the step: the transformer schedule GraphWriter
+// trains with.
+type Warmup struct {
+	WarmupSteps int
+}
+
+// Factor implements LRSchedule.
+func (w Warmup) Factor(step int) float64 {
+	ws := w.WarmupSteps
+	if ws <= 0 {
+		ws = 1
+	}
+	if step < ws {
+		return float64(step) / float64(ws)
+	}
+	return math.Sqrt(float64(ws)) / math.Sqrt(float64(step))
+}
+
+// ScheduledAdam wraps Adam with a learning-rate schedule.
+type ScheduledAdam struct {
+	*Adam
+	Schedule LRSchedule
+	baseLR   float32
+	step     int
+}
+
+// NewScheduledAdam builds an Adam optimizer whose LR follows schedule.
+func NewScheduledAdam(inner *Adam, schedule LRSchedule) *ScheduledAdam {
+	return &ScheduledAdam{Adam: inner, Schedule: schedule, baseLR: inner.LR}
+}
+
+// Step implements Optimizer: applies the schedule factor, then updates.
+func (s *ScheduledAdam) Step() {
+	s.step++
+	s.Adam.LR = s.baseLR * float32(s.Schedule.Factor(s.step))
+	s.Adam.Step()
+}
+
+// CurrentLR returns the rate the last Step used.
+func (s *ScheduledAdam) CurrentLR() float32 { return s.Adam.LR }

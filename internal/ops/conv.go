@@ -1,0 +1,351 @@
+package ops
+
+import (
+	"fmt"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/tensor"
+)
+
+// conv2DDims validates shapes and returns the output spatial dimensions.
+func conv2DDims(x, w *tensor.Tensor, strideH, strideW, padH, padW int) (n, cin, h, wd, cout, kh, kw, oh, ow int) {
+	if x.Dims() != 4 || w.Dims() != 4 {
+		panic(fmt.Sprintf("ops: Conv2D requires 4-D tensors, got %v %v", x.Shape(), w.Shape()))
+	}
+	n, cin, h, wd = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cout, kh, kw = w.Dim(0), w.Dim(2), w.Dim(3)
+	if w.Dim(1) != cin {
+		shapePanic("Conv2D", x, w)
+	}
+	oh = (h+2*padH-kh)/strideH + 1
+	ow = (wd+2*padW-kw)/strideW + 1
+	if oh < 1 || ow < 1 {
+		panic("ops: Conv2D output would be empty")
+	}
+	return
+}
+
+// Conv2D computes a dense 2-D convolution of x (N,Cin,H,W) with filters
+// w (Cout,Cin,KH,KW), the temporal-convolution workhorse of STGCN.
+func (e *Engine) Conv2D(x, w *tensor.Tensor, strideH, strideW, padH, padW int) *tensor.Tensor {
+	n, cin, h, wd, cout, kh, kw, oh, ow := conv2DDims(x, w, strideH, strideW, padH, padW)
+	out := tensor.New(n, cout, oh, ow)
+	xd, wdt, od := x.Data(), w.Data(), out.Data()
+
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					iy0 := oy*strideH - padH
+					ix0 := ox*strideW - padW
+					for ic := 0; ic < cin; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xBase := ((b*cin+ic)*h + iy) * wd
+							wBase := ((oc*cin+ic)*kh + ky) * kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								s += xd[xBase+ix] * wdt[wBase+kx]
+							}
+						}
+					}
+					od[((b*cout+oc)*oh+oy)*ow+ox] = s
+				}
+			}
+		}
+	}
+	e.launchConv("conv2d_fwd", x, w, out, uint64(n*cout*oh*ow)*uint64(cin*kh*kw))
+	return out
+}
+
+// Conv2DGradInput computes the input gradient of Conv2D.
+func (e *Engine) Conv2DGradInput(dy, w *tensor.Tensor, xShape []int, strideH, strideW, padH, padW int) *tensor.Tensor {
+	dx := tensor.New(xShape...)
+	n, cin, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	cout, kh, kw := w.Dim(0), w.Dim(2), w.Dim(3)
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	dyd, wdt, dxd := dy.Data(), w.Data(), dx.Data()
+
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dyd[((b*cout+oc)*oh+oy)*ow+ox]
+					if g == 0 {
+						continue
+					}
+					iy0 := oy*strideH - padH
+					ix0 := ox*strideW - padW
+					for ic := 0; ic < cin; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xBase := ((b*cin+ic)*h + iy) * wd
+							wBase := ((oc*cin+ic)*kh + ky) * kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								dxd[xBase+ix] += g * wdt[wBase+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	e.launchConv("conv2d_bwd_input", dy, w, dx, uint64(dy.Size())*uint64(cin*kh*kw))
+	return dx
+}
+
+// Conv2DGradWeight computes the filter gradient of Conv2D.
+func (e *Engine) Conv2DGradWeight(x, dy *tensor.Tensor, wShape []int, strideH, strideW, padH, padW int) *tensor.Tensor {
+	dw := tensor.New(wShape...)
+	n, cin, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cout, kh, kw := wShape[0], wShape[2], wShape[3]
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
+
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dyd[((b*cout+oc)*oh+oy)*ow+ox]
+					if g == 0 {
+						continue
+					}
+					iy0 := oy*strideH - padH
+					ix0 := ox*strideW - padW
+					for ic := 0; ic < cin; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xBase := ((b*cin+ic)*h + iy) * wd
+							wBase := ((oc*cin+ic)*kh + ky) * kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								dwd[wBase+kx] += g * xd[xBase+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	e.launchConv("conv2d_bwd_weight", x, dy, dw, uint64(dy.Size())*uint64(cin*kh*kw))
+	return dw
+}
+
+// MaxPool2D applies non-overlapping k x k max pooling to x (N,C,H,W),
+// truncating ragged edges. Returns the pooled tensor and the flat argmax
+// index of each output element (for the backward scatter).
+func (e *Engine) MaxPool2D(x *tensor.Tensor, k int) (*tensor.Tensor, []int32) {
+	if x.Dims() != 4 || k <= 0 {
+		shapePanic("MaxPool2D", x)
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/k, w/k
+	if oh < 1 || ow < 1 {
+		panic("ops: MaxPool2D window larger than input")
+	}
+	out := tensor.New(n, c, oh, ow)
+	arg := make([]int32, out.Size())
+	xd, od := x.Data(), out.Data()
+	o := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(negInf32)
+					bi := 0
+					for ky := 0; ky < k; ky++ {
+						rowBase := plane + (oy*k+ky)*w + ox*k
+						for kx := 0; kx < k; kx++ {
+							if v := xd[rowBase+kx]; v > best {
+								best = v
+								bi = rowBase + kx
+							}
+						}
+					}
+					od[o] = best
+					arg[o] = int32(bi)
+					o++
+				}
+			}
+		}
+	}
+	if e.dev != nil {
+		elem := e.fpElem()
+		un := uint64(x.Size())
+		e.launch(&gpu.Kernel{
+			Name:    "maxpool2d",
+			Class:   gpu.OpReduction,
+			Threads: out.Size(),
+			Mix: gpu.InstrMix{
+				Fp32:    un,
+				Int32:   un * 2,
+				Load:    un,
+				Store:   uint64(out.Size()),
+				Control: un,
+			},
+			Flops: un,
+			Iops:  un * 2,
+			Accesses: []gpu.Access{
+				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Count: x.Size(), Stride: 1},
+				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+			},
+			CodeBytes: 2 << 10,
+			DepChain:  2.0,
+		})
+	}
+	return out, arg
+}
+
+const negInf32 = float32(-3.4e38)
+
+// MaxPool2DBackward scatters dy back to the argmax positions.
+func (e *Engine) MaxPool2DBackward(dy *tensor.Tensor, arg []int32, xShape []int) *tensor.Tensor {
+	dx := tensor.New(xShape...)
+	dd, xd := dy.Data(), dx.Data()
+	for i, a := range arg {
+		xd[a] += dd[i]
+	}
+	if e.dev != nil {
+		elem := e.fpElem()
+		un := uint64(dy.Size())
+		e.launch(&gpu.Kernel{
+			Name:    "maxpool2d_bwd",
+			Class:   gpu.OpScatter,
+			Threads: dy.Size(),
+			Mix: gpu.InstrMix{
+				Fp32:    un,
+				Int32:   un * 4,
+				Load:    un * 2,
+				Store:   un,
+				Control: un,
+			},
+			Flops: un,
+			Iops:  un * 4,
+			Accesses: []gpu.Access{
+				{Kind: gpu.LoadAccess, Base: e.addr(dy), ElemBytes: elem, Count: dy.Size(), Stride: 1},
+				{Kind: gpu.StoreAccess, Base: e.addr(dx), ElemBytes: elem, Indices: arg},
+			},
+			CodeBytes: 1 << 10,
+			DepChain:  2.0,
+		})
+	}
+	return dx
+}
+
+// AddChannelBias adds bias (length C) to every (h,w) site of every channel
+// of x (N,C,H,W): the cuDNN tensor-bias op fused after convolutions.
+func (e *Engine) AddChannelBias(x, bias *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 4 || bias.Size() != x.Dim(1) {
+		shapePanic("AddChannelBias", x, bias)
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, h, w)
+	xd, bd, od := x.Data(), bias.Data(), out.Data()
+	plane := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * plane
+			bv := bd[ch]
+			for i := 0; i < plane; i++ {
+				od[base+i] = xd[base+i] + bv
+			}
+		}
+	}
+	e.launchElementWise("add_channel_bias", 2, out.Size(), []*tensor.Tensor{x, bias}, out)
+	return out
+}
+
+// ChannelBiasGrad reduces dy (N,C,H,W) over everything but channels: the
+// bias gradient of a convolution, a reduction kernel.
+func (e *Engine) ChannelBiasGrad(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := dy.Dim(0), dy.Dim(1), dy.Dim(2), dy.Dim(3)
+	out := tensor.New(c)
+	dd, od := dy.Data(), out.Data()
+	plane := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * plane
+			var s float32
+			for i := 0; i < plane; i++ {
+				s += dd[base+i]
+			}
+			od[ch] += s
+		}
+	}
+	e.launchReduction("conv_bias_grad", dy.Size(), c, dy, out)
+	return out
+}
+
+// launchConv emits the implicit-GEMM convolution recipe; macs is the
+// multiply-accumulate count.
+func (e *Engine) launchConv(name string, a, b, out *tensor.Tensor, macs uint64) {
+	if e.dev == nil {
+		return
+	}
+	elem := e.fpElem()
+	outN := uint64(out.Size())
+	repA := int(macs/uint64(a.Size())+31) / 32
+	if repA < 1 {
+		repA = 1
+	}
+	repB := int(macs/uint64(b.Size())+31) / 32
+	if repB < 1 {
+		repB = 1
+	}
+	// Filter-gradient kernels have tiny outputs but huge reductions; cuDNN
+	// parallelizes over the reduction (atomics / split accumulation), so
+	// thread count follows work, not output size.
+	threads := out.Size()
+	if workPar := int(macs / 64); workPar > threads {
+		threads = workPar
+	}
+	if threads > 1<<18 {
+		threads = 1 << 18
+	}
+	e.launch(&gpu.Kernel{
+		Name:    name,
+		Class:   gpu.OpConv,
+		Threads: threads,
+		Mix: gpu.InstrMix{
+			Fp32:    macs,
+			Int32:   macs/3 + outN*8,
+			Load:    macs / 12,
+			Store:   outN,
+			Control: macs / 12,
+		},
+		Flops: 2 * macs,
+		Iops:  macs / 3,
+		Accesses: []gpu.Access{
+			{Kind: gpu.LoadAccess, Base: e.addr(a), ElemBytes: elem, Count: a.Size(), Stride: 1, Repeat: repA},
+			{Kind: gpu.LoadAccess, Base: e.addr(b), ElemBytes: elem, Count: b.Size(), Stride: 1, Repeat: repB},
+			{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+		},
+		// cuDNN implicit-GEMM kernels are heavily unrolled: large SASS.
+		CodeBytes: 48 << 10,
+		DepChain:  1.25,
+		// Thin reductions (Cin*KH*KW below the tile depth) underfill tiles.
+		Efficiency: clampEff(float64(macs/uint64(out.Size())) / 192),
+		Barriers:   4,
+	})
+}

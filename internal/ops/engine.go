@@ -1,0 +1,146 @@
+// Package ops implements the tensor operations of the GNNMark training
+// stack. Every operation does two things: it computes real float32 numerics
+// on the CPU (so models genuinely train), and it lowers itself to one or
+// more gpu.Kernel descriptors — instruction mix, FLOP/IOP counts, and
+// (data-dependent) memory-access streams — launched on the attached
+// simulated device. The kernel recipes are the calibration surface of the
+// reproduction: they encode how DGL/PyTorch kernels for each operation class
+// behave on a V100.
+package ops
+
+import (
+	"fmt"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/tensor"
+)
+
+// Engine executes tensor ops against an optional simulated device. A nil
+// device skips all kernel lowering (pure math mode, used by fast unit
+// tests). Engine is not safe for concurrent use.
+type Engine struct {
+	dev      *gpu.Device
+	addrs    map[*tensor.Tensor]uint64
+	csrAddrs map[*graph.CSR][2]uint64
+	intAddrs map[*int32]uint64
+}
+
+// New returns an engine bound to dev (which may be nil).
+func New(dev *gpu.Device) *Engine {
+	return &Engine{
+		dev:      dev,
+		addrs:    map[*tensor.Tensor]uint64{},
+		csrAddrs: map[*graph.CSR][2]uint64{},
+		intAddrs: map[*int32]uint64{},
+	}
+}
+
+// Device returns the attached device (possibly nil).
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// addr returns the synthetic device address of t, allocating on first use.
+func (e *Engine) addr(t *tensor.Tensor) uint64 {
+	if e.dev == nil {
+		return 0
+	}
+	if a, ok := e.addrs[t]; ok {
+		return a
+	}
+	a := e.dev.Alloc(t.Size() * 4)
+	e.addrs[t] = a
+	return a
+}
+
+// csrAddr returns synthetic device addresses for a CSR's RowPtr and ColIdx
+// arrays, allocating on first use.
+func (e *Engine) csrAddr(g *graph.CSR) (rowPtr, colIdx uint64) {
+	if e.dev == nil {
+		return 0, 0
+	}
+	if a, ok := e.csrAddrs[g]; ok {
+		return a[0], a[1]
+	}
+	rp := e.dev.Alloc(len(g.RowPtr) * 4)
+	ci := e.dev.Alloc(len(g.ColIdx) * 4)
+	e.csrAddrs[g] = [2]uint64{rp, ci}
+	return rp, ci
+}
+
+// intAddr returns a synthetic device address for an int32 buffer, keyed by
+// its first element's identity (buffers are reused across iterations).
+func (e *Engine) intAddr(idx []int32) uint64 {
+	if e.dev == nil || len(idx) == 0 {
+		return 0
+	}
+	key := &idx[0]
+	if a, ok := e.intAddrs[key]; ok {
+		return a
+	}
+	a := e.dev.Alloc(len(idx) * 4)
+	e.intAddrs[key] = a
+	return a
+}
+
+// fpElem returns the floating-point element size under the device's
+// precision mode (4 without a device).
+func (e *Engine) fpElem() int {
+	if e.dev == nil {
+		return 4
+	}
+	return e.dev.FpElemBytes()
+}
+
+// launch submits a kernel when a device is attached.
+func (e *Engine) launch(k *gpu.Kernel) {
+	if e.dev == nil {
+		return
+	}
+	if e.dev.Config().HalfPrecision {
+		k.Mix.Fp16, k.Mix.Fp32 = k.Mix.Fp32, 0
+	}
+	e.dev.Launch(k)
+}
+
+// CopyH2D models transferring t from host to device, recording its zero
+// fraction for the sparsity characterization. Models call this for each
+// batch's input tensors, mirroring the paper's modified-PyTorch hook.
+func (e *Engine) CopyH2D(name string, t *tensor.Tensor) {
+	if e.dev == nil {
+		return
+	}
+	e.dev.CopyH2D(name, uint64(t.Size()*e.fpElem()), t.ZeroFraction())
+}
+
+// CopyH2DInt models transferring an int32 index buffer host to device.
+func (e *Engine) CopyH2DInt(name string, idx []int32) {
+	if e.dev == nil {
+		return
+	}
+	zero := 0
+	for _, v := range idx {
+		if v == 0 {
+			zero++
+		}
+	}
+	zf := 0.0
+	if len(idx) > 0 {
+		zf = float64(zero) / float64(len(idx))
+	}
+	e.dev.CopyH2D(name, uint64(len(idx)*4), zf)
+}
+
+func shapePanic(op string, args ...*tensor.Tensor) {
+	msg := "ops: " + op + " shape mismatch:"
+	for _, a := range args {
+		msg += " " + a.String()
+	}
+	panic(msg)
+}
+
+func check2D(op string, t *tensor.Tensor) (int, int) {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("ops: %s requires 2-D tensor, got %v", op, t.Shape()))
+	}
+	return t.Dim(0), t.Dim(1)
+}

@@ -1,0 +1,279 @@
+package ops
+
+import (
+	"math"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/tensor"
+)
+
+// GLU4D applies a gated linear unit along the channel axis of x
+// (B,2C,S,T): out = x[:, :C] * sigmoid(x[:, C:]). One fused kernel, as
+// PyTorch's F.glu lowers. Returns the output and the gate activations
+// (needed by the backward pass).
+func (e *Engine) GLU4D(x *tensor.Tensor) (out, gate *tensor.Tensor) {
+	if x.Dims() != 4 || x.Dim(1)%2 != 0 {
+		shapePanic("GLU4D", x)
+	}
+	b, c2, s, tw := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	c := c2 / 2
+	out = tensor.New(b, c, s, tw)
+	gate = tensor.New(b, c, s, tw)
+	plane := s * tw
+	xd, od, gd := x.Data(), out.Data(), gate.Data()
+	for bi := 0; bi < b; bi++ {
+		for ch := 0; ch < c; ch++ {
+			aBase := (bi*c2 + ch) * plane
+			gBase := (bi*c2 + c + ch) * plane
+			oBase := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				g := float32(1 / (1 + math.Exp(-float64(xd[gBase+i]))))
+				gd[oBase+i] = g
+				od[oBase+i] = xd[aBase+i] * g
+			}
+		}
+	}
+	if e.dev != nil {
+		elem := e.fpElem()
+		n := uint64(x.Size())
+		e.launch(&gpu.Kernel{
+			Name:    "glu",
+			Class:   gpu.OpElementWise,
+			Threads: out.Size(),
+			Mix: gpu.InstrMix{
+				Fp32:    n,
+				Int32:   n,
+				Special: n / 2,
+				Load:    n,
+				Store:   n / 2,
+				Control: n / 4,
+			},
+			Flops: n * 2,
+			Iops:  n,
+			Accesses: []gpu.Access{
+				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Count: x.Size(), Stride: 1},
+				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+			},
+			CodeBytes: 2 << 10,
+			DepChain:  1.3,
+		})
+	}
+	return out, gate
+}
+
+// GLU4DBackward computes the input gradient of GLU4D from the stored value
+// half, gate activations, and output gradient.
+func (e *Engine) GLU4DBackward(x, gate, dy *tensor.Tensor) *tensor.Tensor {
+	b, c2 := x.Dim(0), x.Dim(1)
+	c := c2 / 2
+	s, tw := x.Dim(2), x.Dim(3)
+	dx := tensor.New(b, c2, s, tw)
+	plane := s * tw
+	xd, gd, dd, dxd := x.Data(), gate.Data(), dy.Data(), dx.Data()
+	for bi := 0; bi < b; bi++ {
+		for ch := 0; ch < c; ch++ {
+			aBase := (bi*c2 + ch) * plane
+			gBase := (bi*c2 + c + ch) * plane
+			oBase := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				g := gd[oBase+i]
+				dxd[aBase+i] = dd[oBase+i] * g
+				dxd[gBase+i] = dd[oBase+i] * xd[aBase+i] * g * (1 - g)
+			}
+		}
+	}
+	e.launchElementWise("glu_bwd", 3, x.Size(), []*tensor.Tensor{x, gate, dy}, dx)
+	return dx
+}
+
+// LSTMCache holds the activations the fused LSTM backward needs.
+type LSTMCache struct {
+	I, F, G, O  *tensor.Tensor // gate activations (B,H)
+	CPrev, CNew *tensor.Tensor
+}
+
+// LSTMCellForward applies the fused LSTM pointwise cell: given
+// pre-activation gates (B,4H) in i,f,g,o layout and the previous cell
+// state (B,H), it computes the new hidden and cell states in one
+// element-wise kernel (the cuDNN/PyTorch "lstm_cell" pointwise kernel that
+// follows the two gate GEMMs).
+func (e *Engine) LSTMCellForward(gates, cPrev *tensor.Tensor) (h, c *tensor.Tensor, cache *LSTMCache) {
+	b, h4 := check2D("LSTMCellForward", gates)
+	_, hd := check2D("LSTMCellForward", cPrev)
+	if h4 != 4*hd || cPrev.Dim(0) != b {
+		shapePanic("LSTMCellForward", gates, cPrev)
+	}
+	cache = &LSTMCache{
+		I: tensor.New(b, hd), F: tensor.New(b, hd),
+		G: tensor.New(b, hd), O: tensor.New(b, hd),
+		CPrev: cPrev, CNew: tensor.New(b, hd),
+	}
+	h = tensor.New(b, hd)
+	for r := 0; r < b; r++ {
+		gr := gates.Row(r)
+		cp := cPrev.Row(r)
+		ir, fr, gr2, or := cache.I.Row(r), cache.F.Row(r), cache.G.Row(r), cache.O.Row(r)
+		cn, hr := cache.CNew.Row(r), h.Row(r)
+		for j := 0; j < hd; j++ {
+			ir[j] = sigmoid32(gr[j])
+			fr[j] = sigmoid32(gr[hd+j])
+			gr2[j] = tanh32(gr[2*hd+j])
+			or[j] = sigmoid32(gr[3*hd+j])
+			cn[j] = fr[j]*cp[j] + ir[j]*gr2[j]
+			hr[j] = or[j] * tanh32(cn[j])
+		}
+	}
+	if e.dev != nil {
+		un := uint64(gates.Size())
+		elem := e.fpElem()
+		e.launch(&gpu.Kernel{
+			Name:    "lstm_cell",
+			Class:   gpu.OpElementWise,
+			Threads: cPrev.Size(),
+			Mix: gpu.InstrMix{
+				Fp32:    un,
+				Int32:   un * 2,
+				Special: un,
+				Load:    un + uint64(cPrev.Size()),
+				Store:   2 * uint64(cPrev.Size()),
+				Control: un / 2,
+			},
+			Flops: un * 3,
+			Iops:  un * 2,
+			Accesses: []gpu.Access{
+				{Kind: gpu.LoadAccess, Base: e.addr(gates), ElemBytes: elem, Count: gates.Size(), Stride: 1},
+				{Kind: gpu.LoadAccess, Base: e.addr(cPrev), ElemBytes: elem, Count: cPrev.Size(), Stride: 1},
+				{Kind: gpu.StoreAccess, Base: e.addr(h), ElemBytes: elem, Count: h.Size(), Stride: 1},
+				{Kind: gpu.StoreAccess, Base: e.addr(cache.CNew), ElemBytes: elem, Count: cache.CNew.Size(), Stride: 1},
+			},
+			CodeBytes: 3 << 10,
+			DepChain:  1.6,
+		})
+	}
+	return h, cache.CNew, cache
+}
+
+// LSTMCellBackward computes the fused backward of LSTMCellForward: given
+// dH and dC (either may be nil for zero), it returns the gate-preactivation
+// gradient (B,4H) and the previous-cell gradient (B,H). One element-wise
+// kernel.
+func (e *Engine) LSTMCellBackward(cache *LSTMCache, dH, dC *tensor.Tensor) (dGates, dCPrev *tensor.Tensor) {
+	b, hd := cache.I.Dim(0), cache.I.Dim(1)
+	dGates = tensor.New(b, 4*hd)
+	dCPrev = tensor.New(b, hd)
+	for r := 0; r < b; r++ {
+		ir, fr, gr, or := cache.I.Row(r), cache.F.Row(r), cache.G.Row(r), cache.O.Row(r)
+		cp, cn := cache.CPrev.Row(r), cache.CNew.Row(r)
+		dg := dGates.Row(r)
+		dcp := dCPrev.Row(r)
+		for j := 0; j < hd; j++ {
+			var dh, dc float32
+			if dH != nil {
+				dh = dH.Row(r)[j]
+			}
+			if dC != nil {
+				dc = dC.Row(r)[j]
+			}
+			tc := tanh32(cn[j])
+			dcTot := dc + dh*or[j]*(1-tc*tc)
+			dO := dh * tc
+			dF := dcTot * cp[j]
+			dI := dcTot * gr[j]
+			dG := dcTot * ir[j]
+			dg[j] = dI * ir[j] * (1 - ir[j])
+			dg[hd+j] = dF * fr[j] * (1 - fr[j])
+			dg[2*hd+j] = dG * (1 - gr[j]*gr[j])
+			dg[3*hd+j] = dO * or[j] * (1 - or[j])
+			dcp[j] = dcTot * fr[j]
+		}
+	}
+	e.launchElementWise("lstm_cell_bwd", 3, dGates.Size(), []*tensor.Tensor{cache.I, cache.CNew}, dGates)
+	return dGates, dCPrev
+}
+
+func sigmoid32(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
+func tanh32(x float32) float32    { return float32(math.Tanh(float64(x))) }
+
+// BatchNorm2DForward normalizes x (B,C,S,T) per channel (cuDNN spatial
+// batch norm, operating natively on NCHW — no layout transposes). Returns
+// the output, normalized xhat, and per-channel variance.
+func (e *Engine) BatchNorm2DForward(x, gamma, beta *tensor.Tensor, eps float32) (out, xhat, variance *tensor.Tensor) {
+	if x.Dims() != 4 || gamma.Size() != x.Dim(1) || beta.Size() != x.Dim(1) {
+		shapePanic("BatchNorm2DForward", x, gamma)
+	}
+	b, c, s, tw := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	plane := s * tw
+	count := float64(b * plane)
+	out = tensor.New(b, c, s, tw)
+	xhat = tensor.New(b, c, s, tw)
+	variance = tensor.New(c)
+	xd, od, hd := x.Data(), out.Data(), xhat.Data()
+	gd, bd, vd := gamma.Data(), beta.Data(), variance.Data()
+
+	for ch := 0; ch < c; ch++ {
+		var sum float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				sum += float64(xd[base+i])
+			}
+		}
+		mean := sum / count
+		var vs float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				d := float64(xd[base+i]) - mean
+				vs += d * d
+			}
+		}
+		v := vs / count
+		vd[ch] = float32(v)
+		invStd := 1 / math.Sqrt(v+float64(eps))
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				h := float32((float64(xd[base+i]) - mean) * invStd)
+				hd[base+i] = h
+				od[base+i] = gd[ch]*h + bd[ch]
+			}
+		}
+	}
+	e.launchBatchNorm("batchnorm2d_fwd", x, out)
+	return out, xhat, variance
+}
+
+// BatchNorm2DBackward computes gradients of BatchNorm2DForward.
+func (e *Engine) BatchNorm2DBackward(xhat, dy, variance, gamma *tensor.Tensor, eps float32) (dx, dgamma, dbeta *tensor.Tensor) {
+	b, c, s, tw := xhat.Dim(0), xhat.Dim(1), xhat.Dim(2), xhat.Dim(3)
+	plane := s * tw
+	count := float64(b * plane)
+	dx = tensor.New(b, c, s, tw)
+	dgamma = tensor.New(c)
+	dbeta = tensor.New(c)
+	hd, dd, dxd := xhat.Data(), dy.Data(), dx.Data()
+	gd, vd := gamma.Data(), variance.Data()
+
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				sumDy += float64(dd[base+i])
+				sumDyXhat += float64(dd[base+i] * hd[base+i])
+			}
+		}
+		dgamma.Data()[ch] = float32(sumDyXhat)
+		dbeta.Data()[ch] = float32(sumDy)
+		invStd := 1 / math.Sqrt(float64(vd[ch]+eps))
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				dxd[base+i] = float32(float64(gd[ch]) * invStd *
+					(float64(dd[base+i]) - sumDy/count - float64(hd[base+i])*sumDyXhat/count))
+			}
+		}
+	}
+	e.launchBatchNorm("batchnorm2d_bwd", xhat, dx)
+	return dx, dgamma, dbeta
+}

@@ -1,0 +1,71 @@
+package ops
+
+import (
+	"math"
+
+	"gnnmark/internal/tensor"
+)
+
+// SliceCols2D returns columns [from,to) of x (N,F) as a new (N,to-from)
+// tensor; used to split fused gate matrices (LSTM) and attention heads.
+func (e *Engine) SliceCols2D(x *tensor.Tensor, from, to int) *tensor.Tensor {
+	n, f := check2D("SliceCols2D", x)
+	if from < 0 || to > f || from >= to {
+		shapePanic("SliceCols2D", x)
+	}
+	out := tensor.New(n, to-from)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), x.Row(i)[from:to])
+	}
+	e.launchElementWise("slice_cols", 1, out.Size(), []*tensor.Tensor{x}, out)
+	return out
+}
+
+// PadColsGrad is the backward of SliceCols2D: embeds dy (N,to-from) into a
+// zero (N,F) tensor at column offset from.
+func (e *Engine) PadColsGrad(dy *tensor.Tensor, f, from int) *tensor.Tensor {
+	n, w := check2D("PadColsGrad", dy)
+	out := tensor.New(n, f)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i)[from:from+w], dy.Row(i))
+	}
+	e.launchElementWise("pad_cols", 1, dy.Size(), []*tensor.Tensor{dy}, out)
+	return out
+}
+
+// SGDStep applies one SGD update in place: with momentum buffer buf (may be
+// nil for plain SGD), p -= lr * (momentum*buf + g + wd*p). One fused
+// element-wise kernel, as a framework optimizer would launch.
+func (e *Engine) SGDStep(p, g, buf *tensor.Tensor, lr, momentum, weightDecay float32) {
+	pd, gd := p.Data(), g.Data()
+	if buf != nil {
+		bd := buf.Data()
+		for i := range pd {
+			upd := gd[i] + weightDecay*pd[i]
+			bd[i] = momentum*bd[i] + upd
+			pd[i] -= lr * bd[i]
+		}
+	} else {
+		for i := range pd {
+			pd[i] -= lr * (gd[i] + weightDecay*pd[i])
+		}
+	}
+	e.launchElementWise("sgd_step", 2, p.Size(), []*tensor.Tensor{p, g}, p)
+}
+
+// AdamStep applies one Adam update in place, maintaining first/second moment
+// estimates m and v; step is the 1-based iteration count for bias
+// correction. One fused element-wise kernel.
+func (e *Engine) AdamStep(p, g, m, v *tensor.Tensor, lr, beta1, beta2, eps float32, step int) {
+	pd, gd, md, vd := p.Data(), g.Data(), m.Data(), v.Data()
+	bc1 := 1 - float32(math.Pow(float64(beta1), float64(step)))
+	bc2 := 1 - float32(math.Pow(float64(beta2), float64(step)))
+	for i := range pd {
+		md[i] = beta1*md[i] + (1-beta1)*gd[i]
+		vd[i] = beta2*vd[i] + (1-beta2)*gd[i]*gd[i]
+		mhat := md[i] / bc1
+		vhat := vd[i] / bc2
+		pd[i] -= lr * mhat / (float32(math.Sqrt(float64(vhat))) + eps)
+	}
+	e.launchElementWise("adam_step", 4, p.Size(), []*tensor.Tensor{p, g, m, v}, p)
+}

@@ -1,0 +1,285 @@
+package ops
+
+import (
+	"math"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/tensor"
+)
+
+// launchReduction emits the tree-reduction kernel recipe over n inputs
+// producing m outputs.
+func (e *Engine) launchReduction(name string, n, m int, in, out *tensor.Tensor) {
+	if e.dev == nil {
+		return
+	}
+	elem := e.fpElem()
+	un := uint64(n)
+	e.launch(&gpu.Kernel{
+		Name:    name,
+		Class:   gpu.OpReduction,
+		Threads: n,
+		Mix: gpu.InstrMix{
+			Fp32:    un,
+			Int32:   un * 4,
+			Load:    un,
+			Store:   uint64(m),
+			Control: un,
+		},
+		Flops: un,
+		Iops:  un * 4,
+		Accesses: []gpu.Access{
+			{Kind: gpu.LoadAccess, Base: e.addr(in), ElemBytes: elem, Count: n, Stride: 1},
+			{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: m, Stride: 1},
+		},
+		CodeBytes: 2 << 10,
+		// Tree reductions are dependency-bound within a warp.
+		DepChain: 3.0,
+		Barriers: 5,
+	})
+}
+
+// SumAll returns the scalar sum of x as a (1) tensor.
+func (e *Engine) SumAll(x *tensor.Tensor) *tensor.Tensor {
+	var s float64
+	for _, v := range x.Data() {
+		s += float64(v)
+	}
+	out := tensor.FromSlice([]float32{float32(s)}, 1)
+	e.launchReduction("reduce_sum_all", x.Size(), 1, x, out)
+	return out
+}
+
+// MeanAll returns the scalar mean of x as a (1) tensor.
+func (e *Engine) MeanAll(x *tensor.Tensor) *tensor.Tensor {
+	out := e.SumAll(x)
+	if x.Size() > 0 {
+		out.Data()[0] /= float32(x.Size())
+	}
+	return out
+}
+
+// SumRows reduces x (N,F) over rows to (F).
+func (e *Engine) SumRows(x *tensor.Tensor) *tensor.Tensor {
+	n, f := check2D("SumRows", x)
+	out := tensor.New(f)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := 0; j < f; j++ {
+			od[j] += row[j]
+		}
+	}
+	e.launchReduction("reduce_sum_rows", x.Size(), f, x, out)
+	return out
+}
+
+// SumCols reduces x (N,F) over columns to (N).
+func (e *Engine) SumCols(x *tensor.Tensor) *tensor.Tensor {
+	n, f := check2D("SumCols", x)
+	out := tensor.New(n)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		var s float32
+		for _, v := range x.Row(i) {
+			s += v
+		}
+		od[i] = s
+	}
+	_ = f
+	e.launchReduction("reduce_sum_cols", x.Size(), n, x, out)
+	return out
+}
+
+// MaxCols returns the row-wise maximum of x (N,F) as (N) plus argmax ids.
+func (e *Engine) MaxCols(x *tensor.Tensor) (*tensor.Tensor, []int32) {
+	n, f := check2D("MaxCols", x)
+	out := tensor.New(n)
+	arg := make([]int32, n)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best, bi := row[0], 0
+		for j := 1; j < f; j++ {
+			if row[j] > best {
+				best, bi = row[j], j
+			}
+		}
+		od[i] = best
+		arg[i] = int32(bi)
+	}
+	e.launchReduction("reduce_max_cols", x.Size(), n, x, out)
+	return out, arg
+}
+
+// Softmax returns the row-wise softmax of x (N,F), numerically stabilized.
+func (e *Engine) Softmax(x *tensor.Tensor) *tensor.Tensor {
+	n, f := check2D("Softmax", x)
+	out := tensor.New(n, f)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			ev := math.Exp(float64(v - maxv))
+			orow[j] = float32(ev)
+			sum += ev
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	e.launchSoftmax("softmax", x, out)
+	return out
+}
+
+// LogSoftmax returns the row-wise log-softmax of x (N,F).
+func (e *Engine) LogSoftmax(x *tensor.Tensor) *tensor.Tensor {
+	n, f := check2D("LogSoftmax", x)
+	out := tensor.New(n, f)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lse := float32(math.Log(sum)) + maxv
+		for j, v := range row {
+			orow[j] = v - lse
+		}
+	}
+	e.launchSoftmax("log_softmax", x, out)
+	return out
+}
+
+func (e *Engine) launchSoftmax(name string, x, out *tensor.Tensor) {
+	if e.dev == nil {
+		return
+	}
+	elem := e.fpElem()
+	un := uint64(x.Size())
+	e.launch(&gpu.Kernel{
+		Name:    name,
+		Class:   gpu.OpReduction,
+		Threads: x.Size(),
+		Mix: gpu.InstrMix{
+			Fp32:    un * 2,
+			Int32:   un * 4,
+			Special: un,
+			Load:    un * 2,
+			Store:   un,
+			Control: un,
+		},
+		Flops: un * 4,
+		Iops:  un * 4,
+		Accesses: []gpu.Access{
+			{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Count: x.Size(), Stride: 1, Repeat: 2},
+			{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+		},
+		CodeBytes: 3 << 10,
+		DepChain:  2.5,
+		Barriers:  3,
+	})
+}
+
+// BatchNormStats computes per-column mean and variance of x (N,F) in one
+// BatchNorm-class kernel; used by the nn.BatchNorm layer.
+func (e *Engine) BatchNormStats(x *tensor.Tensor) (mean, variance *tensor.Tensor) {
+	n, f := check2D("BatchNormStats", x)
+	mean = tensor.New(f)
+	variance = tensor.New(f)
+	md, vd := mean.Data(), variance.Data()
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := 0; j < f; j++ {
+			md[j] += row[j]
+		}
+	}
+	inv := float32(1)
+	if n > 0 {
+		inv = 1 / float32(n)
+	}
+	for j := 0; j < f; j++ {
+		md[j] *= inv
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := 0; j < f; j++ {
+			d := row[j] - md[j]
+			vd[j] += d * d
+		}
+	}
+	for j := 0; j < f; j++ {
+		vd[j] *= inv
+	}
+	e.launchBatchNorm("batchnorm_stats", x, mean)
+	return mean, variance
+}
+
+// BatchNormApply normalizes x with the given statistics and affine
+// parameters: gamma*(x-mean)/sqrt(var+eps) + beta.
+func (e *Engine) BatchNormApply(x, mean, variance, gamma, beta *tensor.Tensor, eps float32) *tensor.Tensor {
+	n, f := check2D("BatchNormApply", x)
+	if mean.Size() != f || variance.Size() != f || gamma.Size() != f || beta.Size() != f {
+		shapePanic("BatchNormApply", x, mean)
+	}
+	out := tensor.New(n, f)
+	md, vd, gd, bd := mean.Data(), variance.Data(), gamma.Data(), beta.Data()
+	inv := make([]float32, f)
+	for j := 0; j < f; j++ {
+		inv[j] = float32(1 / math.Sqrt(float64(vd[j]+eps)))
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < f; j++ {
+			orow[j] = gd[j]*(row[j]-md[j])*inv[j] + bd[j]
+		}
+	}
+	e.launchBatchNorm("batchnorm_apply", x, out)
+	return out
+}
+
+func (e *Engine) launchBatchNorm(name string, x, out *tensor.Tensor) {
+	if e.dev == nil {
+		return
+	}
+	elem := e.fpElem()
+	un := uint64(x.Size())
+	e.launch(&gpu.Kernel{
+		Name:    name,
+		Class:   gpu.OpBatchNorm,
+		Threads: x.Size(),
+		Mix: gpu.InstrMix{
+			Fp32:    un * 3,
+			Int32:   un * 4,
+			Special: un / 8,
+			Load:    un * 2,
+			Store:   un / 2,
+			Control: un,
+		},
+		Flops: un * 4,
+		Iops:  un * 4,
+		Accesses: []gpu.Access{
+			{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Count: x.Size(), Stride: 1, Repeat: 2},
+			{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+		},
+		CodeBytes: 3 << 10,
+		DepChain:  2.2,
+		Barriers:  4,
+	})
+}

@@ -1,0 +1,91 @@
+package ops
+
+import (
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/tensor"
+)
+
+// SpMM computes A @ X for a CSR adjacency A (Rows x Cols) and dense X
+// (Cols, F): the aggregation primitive of message-passing GNN layers. Edge
+// weights in A.Vals are applied when present.
+//
+// The kernel recipe captures the defining architectural property of SpMM on
+// GPUs: feature rows of X are gathered by column index, so consecutive warps
+// touch scattered rows — low L1 locality, high divergence — while popular
+// (high-degree) columns hit in L2. The actual ColIdx array flows into the
+// access stream, making behavior dataset-dependent as in the paper.
+func (e *Engine) SpMM(a *graph.CSR, x *tensor.Tensor) *tensor.Tensor {
+	xr, f := check2D("SpMM", x)
+	if xr != a.Cols {
+		panic("ops: SpMM dimension mismatch: adjacency cols != feature rows")
+	}
+	out := tensor.New(a.Rows, f)
+	xd, od := x.Data(), out.Data()
+	for dst := 0; dst < a.Rows; dst++ {
+		orow := od[dst*f : (dst+1)*f]
+		row := a.ColIdx[a.RowPtr[dst]:a.RowPtr[dst+1]]
+		var w []float32
+		if a.Vals != nil {
+			w = a.Vals[a.RowPtr[dst]:a.RowPtr[dst+1]]
+		}
+		for k, src := range row {
+			xrow := xd[int(src)*f : int(src)*f+f]
+			if w != nil {
+				wv := w[k]
+				for j := 0; j < f; j++ {
+					orow[j] += wv * xrow[j]
+				}
+			} else {
+				for j := 0; j < f; j++ {
+					orow[j] += xrow[j]
+				}
+			}
+		}
+	}
+	e.launchSpMM("spmm_csr", a, x, out, f)
+	return out
+}
+
+func (e *Engine) launchSpMM(name string, a *graph.CSR, x, out *tensor.Tensor, f int) {
+	if e.dev == nil {
+		return
+	}
+	nnz := uint64(a.NNZ())
+	rows := uint64(a.Rows)
+	elem := e.fpElem()
+	// Row-gather stream: one transaction group per nonzero, targeting the
+	// start of the source feature row; Repeat covers the row's F elements in
+	// 32-wide chunks.
+	rowChunks := (f + 31) / 32
+	gatherIdx := make([]int32, a.NNZ())
+	for i, c := range a.ColIdx {
+		gatherIdx[i] = c * int32(f)
+	}
+	e.launch(&gpu.Kernel{
+		Name:    name,
+		Class:   gpu.OpSpMM,
+		Threads: a.Rows * 32 * rowChunks,
+		Mix: gpu.InstrMix{
+			Fp32:    nnz * uint64(f),
+			Int32:   nnz*8 + rows*4 + nnz*uint64(f),
+			Load:    nnz*2 + nnz*uint64(rowChunks),
+			Store:   rows * uint64(f) / 4,
+			Control: nnz * 2,
+		},
+		Flops: 2 * nnz * uint64(f),
+		Iops:  nnz*8 + nnz*uint64(f),
+		Accesses: func() []gpu.Access {
+			rp, ci := e.csrAddr(a)
+			return []gpu.Access{
+				{Kind: gpu.LoadAccess, Base: rp, ElemBytes: 4, Count: a.Rows + 1, Stride: 1},
+				{Kind: gpu.LoadAccess, Base: ci, ElemBytes: 4, Count: a.NNZ(), Stride: 1},
+				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Indices: gatherIdx, Repeat: rowChunks},
+				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
+			}
+		}(),
+		CodeBytes: 8 << 10,
+		DepChain:  2.0,
+		Barriers:  1,
+	})
+}

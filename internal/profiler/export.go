@@ -1,0 +1,145 @@
+package profiler
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gnnmark/internal/gpu"
+)
+
+// Export is the machine-readable form of a profiled run: everything the
+// figure formatters print, as data. Downstream analysis (plotting, regression
+// tracking) consumes this instead of parsing the text reports.
+type Export struct {
+	// Summary mirrors Report.
+	Summary ReportJSON `json:"summary"`
+	// Classes holds per-operation-class counters for classes with kernels.
+	Classes []ClassJSON `json:"classes"`
+	// SparsityTimeline is the per-iteration H2D zero fraction.
+	SparsityTimeline []float64 `json:"sparsityTimeline,omitempty"`
+	// EpochSeconds is simulated time per epoch mark.
+	EpochSeconds []float64 `json:"epochSeconds,omitempty"`
+}
+
+// ReportJSON is Report with stable JSON field names.
+type ReportJSON struct {
+	Kernels        uint64             `json:"kernels"`
+	KernelSeconds  float64            `json:"kernelSeconds"`
+	LaunchSeconds  float64            `json:"launchSeconds"`
+	TimeShare      map[string]float64 `json:"timeShare"`
+	IntShare       float64            `json:"intShare"`
+	FpShare        float64            `json:"fpShare"`
+	GFLOPS         float64            `json:"gflops"`
+	GIOPS          float64            `json:"giops"`
+	IPC            float64            `json:"ipc"`
+	L1HitRate      float64            `json:"l1HitRate"`
+	L2HitRate      float64            `json:"l2HitRate"`
+	DivergenceRate float64            `json:"divergenceRate"`
+	Stalls         map[string]float64 `json:"stalls"`
+	AvgSparsity    float64            `json:"avgSparsity"`
+	H2DBytes       uint64             `json:"h2dBytes"`
+}
+
+// ClassJSON is one op class's counters.
+type ClassJSON struct {
+	Class          string  `json:"class"`
+	Seconds        float64 `json:"seconds"`
+	Kernels        uint64  `json:"kernels"`
+	GFLOPS         float64 `json:"gflops"`
+	GIOPS          float64 `json:"giops"`
+	L1HitRate      float64 `json:"l1HitRate"`
+	L2HitRate      float64 `json:"l2HitRate"`
+	DivergenceRate float64 `json:"divergenceRate"`
+}
+
+// Snapshot-based export of the profiler's current state.
+func (p *Profiler) Export() Export {
+	r := p.Snapshot()
+	out := Export{
+		Summary: ReportJSON{
+			Kernels:        r.Kernels,
+			KernelSeconds:  r.KernelSeconds,
+			LaunchSeconds:  r.LaunchSeconds,
+			TimeShare:      map[string]float64{},
+			IntShare:       r.IntShare,
+			FpShare:        r.FpShare,
+			GFLOPS:         r.GFLOPS,
+			GIOPS:          r.GIOPS,
+			IPC:            r.IPC,
+			L1HitRate:      r.L1HitRate,
+			L2HitRate:      r.L2HitRate,
+			DivergenceRate: r.DivergenceRate,
+			Stalls: map[string]float64{
+				"memoryDependency": r.Stalls.MemoryDep,
+				"execDependency":   r.Stalls.ExecDep,
+				"instructionFetch": r.Stalls.InstrFetch,
+				"synchronization":  r.Stalls.Sync,
+				"other":            r.Stalls.Other,
+			},
+			AvgSparsity: r.AvgSparsity,
+			H2DBytes:    r.H2DBytes,
+		},
+		SparsityTimeline: p.SparsityTimeline(),
+		EpochSeconds:     p.EpochSeconds(),
+	}
+	for _, c := range gpu.AllOpClasses() {
+		if r.TimeShare[c] > 0 {
+			out.Summary.TimeShare[c.String()] = r.TimeShare[c]
+		}
+		cs := p.Class(c)
+		if cs.Kernels == 0 {
+			continue
+		}
+		out.Classes = append(out.Classes, ClassJSON{
+			Class:          c.String(),
+			Seconds:        cs.Seconds,
+			Kernels:        cs.Kernels,
+			GFLOPS:         cs.GFLOPS(),
+			GIOPS:          cs.GIOPS(),
+			L1HitRate:      cs.L1HitRate(),
+			L2HitRate:      cs.L2HitRate(),
+			DivergenceRate: cs.DivergenceRate(),
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the export as indented JSON.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.Export()); err != nil {
+		return fmt.Errorf("profiler: encoding export: %w", err)
+	}
+	return nil
+}
+
+// WriteClassCSV writes the per-class counters as CSV with a header row.
+func (p *Profiler) WriteClassCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"class", "seconds", "kernels", "gflops", "giops",
+		"l1_hit_rate", "l2_hit_rate", "divergence_rate"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("profiler: writing CSV header: %w", err)
+	}
+	for _, c := range p.Export().Classes {
+		row := []string{
+			c.Class,
+			strconv.FormatFloat(c.Seconds, 'g', -1, 64),
+			strconv.FormatUint(c.Kernels, 10),
+			strconv.FormatFloat(c.GFLOPS, 'g', -1, 64),
+			strconv.FormatFloat(c.GIOPS, 'g', -1, 64),
+			strconv.FormatFloat(c.L1HitRate, 'g', -1, 64),
+			strconv.FormatFloat(c.L2HitRate, 'g', -1, 64),
+			strconv.FormatFloat(c.DivergenceRate, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("profiler: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

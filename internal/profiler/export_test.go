@@ -1,0 +1,110 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gnnmark/internal/gpu"
+)
+
+func exportFixture(t *testing.T) *Profiler {
+	t.Helper()
+	dev, p := testDevice()
+	launchSample(dev, gpu.OpGEMM, 1<<22, 1<<20)
+	launchSample(dev, gpu.OpScatter, 1<<16, 1<<21)
+	dev.CopyH2D("x", 4096, 0.5)
+	p.NextIteration()
+	dev.CopyH2D("y", 4096, 0.25)
+	p.MarkEpoch()
+	return p
+}
+
+func TestExportRoundTripsThroughJSON(t *testing.T) {
+	p := exportFixture(t)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Export
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Summary.Kernels != 2 {
+		t.Fatalf("kernels = %d", got.Summary.Kernels)
+	}
+	if len(got.Classes) != 2 {
+		t.Fatalf("classes = %d", len(got.Classes))
+	}
+	if got.Summary.TimeShare["GEMM"] <= 0 {
+		t.Fatal("GEMM time share missing")
+	}
+	var stallSum float64
+	for _, v := range got.Summary.Stalls {
+		stallSum += v
+	}
+	if math.Abs(stallSum-1) > 1e-9 {
+		t.Fatalf("exported stalls sum to %g", stallSum)
+	}
+	if len(got.SparsityTimeline) != 2 || got.SparsityTimeline[0] != 0.5 {
+		t.Fatalf("timeline = %v", got.SparsityTimeline)
+	}
+	if len(got.EpochSeconds) != 1 || got.EpochSeconds[0] <= 0 {
+		t.Fatalf("epochs = %v", got.EpochSeconds)
+	}
+}
+
+func TestExportMatchesSnapshot(t *testing.T) {
+	p := exportFixture(t)
+	e := p.Export()
+	r := p.Snapshot()
+	if e.Summary.GFLOPS != r.GFLOPS || e.Summary.L1HitRate != r.L1HitRate {
+		t.Fatal("export diverges from snapshot")
+	}
+	if e.Summary.AvgSparsity != r.AvgSparsity || e.Summary.H2DBytes != r.H2DBytes {
+		t.Fatal("transfer stats diverge")
+	}
+}
+
+func TestWriteClassCSV(t *testing.T) {
+	p := exportFixture(t)
+	var buf bytes.Buffer
+	if err := p.WriteClassCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) != 3 { // header + 2 classes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "class" || len(rows[0]) != 8 {
+		t.Fatalf("header = %v", rows[0])
+	}
+	found := map[string]bool{}
+	for _, row := range rows[1:] {
+		found[row[0]] = true
+	}
+	if !found["GEMM"] || !found["Scatter"] {
+		t.Fatalf("classes missing: %v", found)
+	}
+}
+
+func TestExportEmptyProfiler(t *testing.T) {
+	_, p := testDevice()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteClassCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e := p.Export()
+	if len(e.Classes) != 0 || e.Summary.Kernels != 0 {
+		t.Fatal("empty profiler export not empty")
+	}
+}

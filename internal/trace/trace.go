@@ -1,0 +1,103 @@
+// Package trace records the simulated kernel timeline and exports it in the
+// Chrome trace-event format (chrome://tracing, Perfetto), giving the
+// reproduction the visual timeline view nvprof/Nsight provide for real
+// runs: one row per operation class, one slice per kernel, with the
+// exposed launch gaps visible between slices.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gnnmark/internal/gpu"
+)
+
+// Event is one Chrome trace-event ("X" complete events only).
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Recorder subscribes to a device and accumulates the kernel timeline.
+type Recorder struct {
+	events []Event
+	clock  float64 // device-time cursor in seconds
+	limit  int
+}
+
+// Attach subscribes a new recorder to dev. limit caps the recorded events
+// (0 = 100k) so long runs cannot exhaust memory; past the cap, kernels are
+// counted into the clock but not recorded.
+func Attach(dev *gpu.Device, limit int) *Recorder {
+	if limit <= 0 {
+		limit = 100_000
+	}
+	r := &Recorder{limit: limit}
+	dev.Subscribe(r.onKernel)
+	dev.SubscribeTransfers(r.onTransfer)
+	return r
+}
+
+func (r *Recorder) onKernel(ks gpu.KernelStats) {
+	start := r.clock + ks.Launch // exposed launch gap precedes the kernel
+	if len(r.events) < r.limit {
+		r.events = append(r.events, Event{
+			Name: ks.Name,
+			Cat:  ks.Class.String(),
+			Ph:   "X",
+			TS:   start * 1e6,
+			Dur:  ks.Seconds * 1e6,
+			PID:  1,
+			TID:  int(ks.Class) + 1,
+			Args: map[string]string{
+				"flops":     fmt.Sprintf("%d", ks.Flops),
+				"l1_hit":    fmt.Sprintf("%.3f", ks.L1HitRate()),
+				"divergent": fmt.Sprintf("%.3f", ks.DivergenceRate()),
+			},
+		})
+	}
+	r.clock = start + ks.Seconds
+}
+
+func (r *Recorder) onTransfer(ts gpu.TransferStats) {
+	if len(r.events) < r.limit {
+		r.events = append(r.events, Event{
+			Name: ts.Name,
+			Cat:  "Transfer",
+			Ph:   "X",
+			TS:   r.clock * 1e6,
+			Dur:  ts.Seconds * 1e6,
+			PID:  1,
+			TID:  0,
+			Args: map[string]string{
+				"bytes":    fmt.Sprintf("%d", ts.Bytes),
+				"sparsity": fmt.Sprintf("%.3f", ts.ZeroFraction),
+			},
+		})
+	}
+	r.clock += ts.Seconds
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events (shared slice; do not mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// WriteJSON writes the timeline in the Chrome trace-event array format.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{TraceEvents: r.events}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("trace: encoding timeline: %w", err)
+	}
+	return nil
+}
