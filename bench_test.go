@@ -1,6 +1,7 @@
 package gnnmark
 
 import (
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -20,8 +21,12 @@ var (
 	benchErr   error
 )
 
+// benchCfg is the shared benchmark configuration. GNNMARK_BACKEND=parallel
+// switches the numerics backend (results are identical; see
+// internal/backend) so the suite benchmarks can be compared across backends
+// without editing code.
 func benchCfg() core.RunConfig {
-	return core.RunConfig{Epochs: 1, Seed: 1, SampledWarps: 512}
+	return core.RunConfig{Epochs: 1, Seed: 1, SampledWarps: 512, Backend: os.Getenv("GNNMARK_BACKEND")}
 }
 
 func sharedSuite(b *testing.B) *Suite {

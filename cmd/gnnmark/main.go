@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gnnmark/internal/backend"
 	"gnnmark/internal/bench"
 	"gnnmark/internal/core"
 	"gnnmark/internal/gpu"
@@ -48,10 +49,11 @@ func main() {
 	sweepVals := fs.String("values", "4,14,28", "comma-separated sweep values")
 	traceOut := fs.String("trace", "", "write a chrome://tracing timeline to this file (run command)")
 	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
+	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName}
+	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName}
 
 	switch cmd {
 	case "table1":
@@ -190,9 +192,11 @@ func runWithTrace(cfg core.RunConfig, path string) {
 	if cfg.SampledWarps > 0 {
 		devCfg.MaxSampledWarps = cfg.SampledWarps
 	}
+	be, err := backend.New(cfg.Backend)
+	fail(err)
 	dev := gpu.New(devCfg)
 	rec := trace.Attach(dev, 0)
-	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 	dataset := cfg.Dataset
 	if dataset == "" {
 		dataset = spec.Datasets[0]
@@ -293,5 +297,5 @@ commands:
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
-flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME`)
+flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel`)
 }

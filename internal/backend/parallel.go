@@ -1,0 +1,371 @@
+package backend
+
+// parallelBackend tiles large kernels across the shared worker pool. It
+// embeds the serial backend, so kernels that are cheap, sequential by
+// contract (Dropout's rng stream, ScatterAdd's colliding indices, SumAll's
+// loss accumulation), or rarely hot inherit the reference implementation.
+//
+// Every parallel decomposition partitions the serial loop nest so that each
+// output element is produced by exactly one worker with the same
+// accumulation order as the serial kernel — results are bitwise identical,
+// which keeps the characterization figures backend-independent. Kernels
+// whose total work falls below minParallelWork run serially to spare small
+// (Tree-LSTM-sized) ops the dispatch cost.
+type parallelBackend struct{ serialBackend }
+
+func (parallelBackend) Name() string { return "parallel" }
+
+// --- dense matrix products (row tiles) ---
+
+func (parallelBackend) MatMul(a, b, out []float32, m, n, k int) {
+	if m*n*k < minParallelWork {
+		matMulRange(a, b, out, n, k, 0, m)
+		return
+	}
+	parallelFor(m, func(lo, hi int) { matMulRange(a, b, out, n, k, lo, hi) })
+}
+
+func (parallelBackend) MatMulTA(a, b, out []float32, m, n, k int) {
+	if m*n*k < minParallelWork {
+		matMulTARange(a, b, out, m, n, k, 0, m)
+		return
+	}
+	parallelFor(m, func(lo, hi int) { matMulTARange(a, b, out, m, n, k, lo, hi) })
+}
+
+func (parallelBackend) MatMulTB(a, b, out []float32, m, n, k int) {
+	if m*n*k < minParallelWork {
+		matMulTBRange(a, b, out, n, k, 0, m)
+		return
+	}
+	parallelFor(m, func(lo, hi int) { matMulTBRange(a, b, out, n, k, lo, hi) })
+}
+
+// --- sparse (destination-row tiles) ---
+
+func (parallelBackend) SpMM(rowPtr, colIdx []int32, vals []float32, x, out []float32, rows, f int) {
+	if len(colIdx)*f < minParallelWork {
+		spMMRange(rowPtr, colIdx, vals, x, out, f, 0, rows)
+		return
+	}
+	parallelFor(rows, func(lo, hi int) { spMMRange(rowPtr, colIdx, vals, x, out, f, lo, hi) })
+}
+
+// --- convolution ---
+
+func (parallelBackend) Conv2D(x, w, out []float32, p ConvParams) {
+	if p.macs() < minParallelWork {
+		conv2DRange(x, w, out, p, 0, p.N*p.Cout)
+		return
+	}
+	parallelFor(p.N*p.Cout, func(lo, hi int) { conv2DRange(x, w, out, p, lo, hi) })
+}
+
+func (parallelBackend) Conv2DGradInput(dy, w, dx []float32, p ConvParams) {
+	if p.macs() < minParallelWork {
+		conv2DGradInputRange(dy, w, dx, p, 0, p.N*p.Cin)
+		return
+	}
+	parallelFor(p.N*p.Cin, func(lo, hi int) { conv2DGradInputRange(dy, w, dx, p, lo, hi) })
+}
+
+func (parallelBackend) Conv2DGradWeight(x, dy, dw []float32, p ConvParams) {
+	if p.macs() < minParallelWork {
+		conv2DGradWeightRange(x, dy, dw, p, 0, p.Cout)
+		return
+	}
+	parallelFor(p.Cout, func(lo, hi int) { conv2DGradWeightRange(x, dy, dw, p, lo, hi) })
+}
+
+func (parallelBackend) MaxPool2D(x, out []float32, arg []int32, n, c, h, w, k int) {
+	if n*c*h*w < minParallelWork {
+		maxPool2DRange(x, out, arg, h, w, k, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { maxPool2DRange(x, out, arg, h, w, k, lo, hi) })
+}
+
+// --- gather / scatter rows ---
+
+func (parallelBackend) GatherRows(x, out []float32, idx []int32, f int) {
+	if len(idx)*f < minParallelWork {
+		gatherRowsRange(x, out, idx, f, 0, len(idx))
+		return
+	}
+	parallelFor(len(idx), func(lo, hi int) { gatherRowsRange(x, out, idx, f, lo, hi) })
+}
+
+// ScatterAddRows partitions feature columns, not rows: idx may name the
+// same destination row repeatedly, so a row partition would race while a
+// column partition keeps each dst element owned by one worker.
+func (parallelBackend) ScatterAddRows(dst, src []float32, idx []int32, f int) {
+	if len(idx)*f < minParallelWork || f < 2 {
+		scatterAddRowsRange(dst, src, idx, f, 0, f)
+		return
+	}
+	parallelFor(f, func(lo, hi int) { scatterAddRowsRange(dst, src, idx, f, lo, hi) })
+}
+
+// --- reductions (SumAll intentionally inherited serial) ---
+
+func (parallelBackend) SumRows(x, out []float32, n, f int) {
+	if n*f < minParallelWork || f < 2 {
+		sumRowsRange(x, out, n, f, 0, f)
+		return
+	}
+	parallelFor(f, func(lo, hi int) { sumRowsRange(x, out, n, f, lo, hi) })
+}
+
+func (parallelBackend) SumCols(x, out []float32, n, f int) {
+	if n*f < minParallelWork {
+		sumColsRange(x, out, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { sumColsRange(x, out, f, lo, hi) })
+}
+
+func (parallelBackend) MaxCols(x, out []float32, arg []int32, n, f int) {
+	if n*f < minParallelWork {
+		maxColsRange(x, out, arg, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { maxColsRange(x, out, arg, f, lo, hi) })
+}
+
+func (parallelBackend) Softmax(x, out []float32, n, f int) {
+	if n*f < minParallelWork {
+		softmaxRange(x, out, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { softmaxRange(x, out, f, lo, hi) })
+}
+
+func (parallelBackend) LogSoftmax(x, out []float32, n, f int) {
+	if n*f < minParallelWork {
+		logSoftmaxRange(x, out, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { logSoftmaxRange(x, out, f, lo, hi) })
+}
+
+// --- element-wise (flat chunk tiles) ---
+
+// runEW dispatches an element-range kernel, staying serial below the work
+// cutoff.
+func runEW(n int, f func(lo, hi int)) {
+	if n < minParallelWork {
+		f(0, n)
+		return
+	}
+	parallelFor(n, f)
+}
+
+func (parallelBackend) Add(out, a, b []float32) {
+	runEW(len(out), func(lo, hi int) { addRange(out, a, b, lo, hi) })
+}
+
+func (parallelBackend) Sub(out, a, b []float32) {
+	runEW(len(out), func(lo, hi int) { subRange(out, a, b, lo, hi) })
+}
+
+func (parallelBackend) Mul(out, a, b []float32) {
+	runEW(len(out), func(lo, hi int) { mulRange(out, a, b, lo, hi) })
+}
+
+func (parallelBackend) Scale(out, a []float32, s float32) {
+	runEW(len(out), func(lo, hi int) { scaleRange(out, a, s, lo, hi) })
+}
+
+func (parallelBackend) AddScalar(out, a []float32, s float32) {
+	runEW(len(out), func(lo, hi int) { addScalarRange(out, a, s, lo, hi) })
+}
+
+func (parallelBackend) AddScaled(out, a, b []float32, s float32) {
+	runEW(len(out), func(lo, hi int) { addScaledRange(out, a, b, s, lo, hi) })
+}
+
+func (parallelBackend) ReLU(out, x []float32) {
+	runEW(len(out), func(lo, hi int) { reluRange(out, x, lo, hi) })
+}
+
+func (parallelBackend) ReLUBackward(out, x, dy []float32) {
+	runEW(len(out), func(lo, hi int) { reluBackwardRange(out, x, dy, lo, hi) })
+}
+
+func (parallelBackend) PReLU(out, x []float32, alpha float32) {
+	runEW(len(out), func(lo, hi int) { preluRange(out, x, alpha, lo, hi) })
+}
+
+func (parallelBackend) Sigmoid(out, x []float32) {
+	runEW(len(out), func(lo, hi int) { sigmoidRange(out, x, lo, hi) })
+}
+
+func (parallelBackend) Tanh(out, x []float32) {
+	runEW(len(out), func(lo, hi int) { tanhRange(out, x, lo, hi) })
+}
+
+func (parallelBackend) Exp(out, x []float32) {
+	runEW(len(out), func(lo, hi int) { expRange(out, x, lo, hi) })
+}
+
+// --- bias / layout ---
+
+func (parallelBackend) AddBiasRows(out, x, bias []float32, n, f int) {
+	if n*f < minParallelWork {
+		addBiasRowsRange(out, x, bias, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { addBiasRowsRange(out, x, bias, f, lo, hi) })
+}
+
+func (parallelBackend) Transpose2D(out, x []float32, n, f int) {
+	if n*f < minParallelWork {
+		transpose2DRange(out, x, n, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { transpose2DRange(out, x, n, f, lo, hi) })
+}
+
+func (parallelBackend) AddChannelBias(out, x, bias []float32, n, c, plane int) {
+	if n*c*plane < minParallelWork {
+		addChannelBiasRange(out, x, bias, c, plane, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { addChannelBiasRange(out, x, bias, c, plane, lo, hi) })
+}
+
+func (parallelBackend) ChannelBiasGrad(dy, out []float32, n, c, plane int) {
+	if n*c*plane < minParallelWork || c < 2 {
+		channelBiasGradRange(dy, out, n, c, plane, 0, c)
+		return
+	}
+	parallelFor(c, func(lo, hi int) { channelBiasGradRange(dy, out, n, c, plane, lo, hi) })
+}
+
+// --- norms ---
+
+func (parallelBackend) BatchNormStats(x, mean, variance []float32, n, f int) {
+	if n*f < minParallelWork || f < 2 {
+		batchNormStatsRange(x, mean, variance, n, f, 0, f)
+		return
+	}
+	parallelFor(f, func(lo, hi int) { batchNormStatsRange(x, mean, variance, n, f, lo, hi) })
+}
+
+func (parallelBackend) BatchNormApply(x, mean, variance, gamma, beta, out []float32, n, f int, eps float32) {
+	inv := batchNormInvStd(variance, eps)
+	if n*f < minParallelWork {
+		batchNormApplyRange(x, mean, inv, gamma, beta, out, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { batchNormApplyRange(x, mean, inv, gamma, beta, out, f, lo, hi) })
+}
+
+func (parallelBackend) BatchNormBackward(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, n, f int, eps float32) {
+	if n*f < minParallelWork || f < 2 {
+		batchNormBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, n, f, eps, 0, f)
+		return
+	}
+	parallelFor(f, func(lo, hi int) {
+		batchNormBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, n, f, eps, lo, hi)
+	})
+}
+
+func (parallelBackend) LayerNormForward(x, gamma, beta, out, xhat, invStd []float32, n, f int, eps float32) {
+	if n*f < minParallelWork {
+		layerNormForwardRange(x, gamma, beta, out, xhat, invStd, f, eps, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { layerNormForwardRange(x, gamma, beta, out, xhat, invStd, f, eps, lo, hi) })
+}
+
+func (parallelBackend) LayerNormBackward(xhat, invStd, dy, gamma, dx, dgamma, dbeta []float32, n, f int) {
+	if n*f < minParallelWork {
+		layerNormDXRange(xhat, invStd, dy, gamma, dx, f, 0, n)
+		layerNormDParamsRange(xhat, dy, dgamma, dbeta, n, f, 0, f)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { layerNormDXRange(xhat, invStd, dy, gamma, dx, f, lo, hi) })
+	if f < 2 {
+		layerNormDParamsRange(xhat, dy, dgamma, dbeta, n, f, 0, f)
+		return
+	}
+	parallelFor(f, func(lo, hi int) { layerNormDParamsRange(xhat, dy, dgamma, dbeta, n, f, lo, hi) })
+}
+
+func (parallelBackend) BatchNorm2D(x, gamma, beta, out, xhat, variance []float32, b, c, plane int, eps float32) {
+	if b*c*plane < minParallelWork || c < 2 {
+		batchNorm2DRange(x, gamma, beta, out, xhat, variance, b, c, plane, eps, 0, c)
+		return
+	}
+	parallelFor(c, func(lo, hi int) {
+		batchNorm2DRange(x, gamma, beta, out, xhat, variance, b, c, plane, eps, lo, hi)
+	})
+}
+
+func (parallelBackend) BatchNorm2DBackward(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, b, c, plane int, eps float32) {
+	if b*c*plane < minParallelWork || c < 2 {
+		batchNorm2DBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, b, c, plane, eps, 0, c)
+		return
+	}
+	parallelFor(c, func(lo, hi int) {
+		batchNorm2DBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, b, c, plane, eps, lo, hi)
+	})
+}
+
+// --- fused cells ---
+
+func (parallelBackend) GLU4D(x, out, gate []float32, b, c, plane int) {
+	if b*c*plane < minParallelWork {
+		glu4DRange(x, out, gate, c, plane, 0, b*c)
+		return
+	}
+	parallelFor(b*c, func(lo, hi int) { glu4DRange(x, out, gate, c, plane, lo, hi) })
+}
+
+func (parallelBackend) GLU4DBackward(x, gate, dy, dx []float32, b, c, plane int) {
+	if b*c*plane < minParallelWork {
+		glu4DBackwardRange(x, gate, dy, dx, c, plane, 0, b*c)
+		return
+	}
+	parallelFor(b*c, func(lo, hi int) { glu4DBackwardRange(x, gate, dy, dx, c, plane, lo, hi) })
+}
+
+func (parallelBackend) LSTMCellForward(gates, cPrev, gi, gf, gg, go_, cNew, h []float32, b, hd int) {
+	if b*hd < minParallelWork {
+		lstmCellForwardRange(gates, cPrev, gi, gf, gg, go_, cNew, h, hd, 0, b)
+		return
+	}
+	parallelFor(b, func(lo, hi int) { lstmCellForwardRange(gates, cPrev, gi, gf, gg, go_, cNew, h, hd, lo, hi) })
+}
+
+func (parallelBackend) LSTMCellBackward(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev []float32, b, hd int) {
+	if b*hd < minParallelWork {
+		lstmCellBackwardRange(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev, hd, 0, b)
+		return
+	}
+	parallelFor(b, func(lo, hi int) {
+		lstmCellBackwardRange(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev, hd, lo, hi)
+	})
+}
+
+// --- losses ---
+
+func (parallelBackend) BCEWithLogits(logits, targets, out []float32) {
+	runEW(len(out), func(lo, hi int) { bceWithLogitsRange(logits, targets, out, lo, hi) })
+}
+
+func (parallelBackend) BCEWithLogitsBackward(logits, targets, dx []float32, g float32) {
+	runEW(len(dx), func(lo, hi int) { bceWithLogitsBackwardRange(logits, targets, dx, g, lo, hi) })
+}
+
+// --- optimizer steps ---
+
+func (parallelBackend) SGDStep(p, g, buf []float32, lr, momentum, weightDecay float32) {
+	runEW(len(p), func(lo, hi int) { sgdStepRange(p, g, buf, lr, momentum, weightDecay, lo, hi) })
+}
+
+func (parallelBackend) AdamStep(p, g, m, v []float32, lr, beta1, beta2, eps float32, step int) {
+	bc1, bc2 := adamBias(beta1, beta2, step)
+	runEW(len(p), func(lo, hi int) { adamStepRange(p, g, m, v, lr, beta1, beta2, eps, bc1, bc2, lo, hi) })
+}

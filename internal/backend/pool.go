@@ -1,0 +1,72 @@
+package backend
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel backend dispatches onto one process-wide worker pool:
+// workers are started lazily on first use, sized to runtime.GOMAXPROCS, and
+// live for the process lifetime, so a kernel launch costs one channel send
+// per tile instead of a goroutine spawn. Multiple engines (DDP replicas,
+// per-request engines) share the pool rather than oversubscribing the host.
+
+type poolTask struct {
+	f      func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolSize  int
+	poolTasks chan poolTask
+)
+
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	poolTasks = make(chan poolTask, 8*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.f(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// minParallelWork is the per-kernel work floor (in multiply/element units)
+// below which parallel kernels take the serial path: a pool dispatch costs
+// a few microseconds, which must not be charged to Tree-LSTM-sized ops.
+const minParallelWork = 1 << 15
+
+// parallelFor splits [0,n) into one contiguous chunk per worker and runs f
+// over the chunks on the shared pool; the calling goroutine executes the
+// final chunk itself, so the pool is never a hard dependency. f must
+// tolerate concurrent invocations on disjoint ranges. Kernel tasks never
+// submit nested parallelFor calls, so pool workers cannot deadlock.
+func parallelFor(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	chunks := poolSize
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		f(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+size < n {
+		wg.Add(1)
+		poolTasks <- poolTask{f: f, lo: lo, hi: lo + size, wg: &wg}
+		lo += size
+	}
+	f(lo, n)
+	wg.Wait()
+}

@@ -1,0 +1,1006 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+)
+
+// serialBackend is the reference implementation: every kernel runs on the
+// calling goroutine with the numerics the op engine historically computed
+// inline. The kernels are written as range helpers over half-open index
+// intervals so the parallel backend can reuse them on disjoint tiles while
+// preserving the exact per-element accumulation order.
+type serialBackend struct{}
+
+func (serialBackend) Name() string { return "serial" }
+
+// --- dense matrix products ---
+
+// matMulRange accumulates rows [lo,hi) of a (·,k) @ b (k,n) into out.
+func matMulRange(a, b, out []float32, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulTARange accumulates output rows [lo,hi) of aᵀ @ b for a stored
+// (k,m). Accumulation order over p matches the serial original.
+func matMulTARange(a, b, out []float32, m, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulTBRange writes output rows [lo,hi) of a @ bᵀ for b stored (n,k).
+func matMulTBRange(a, b, out []float32, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+func (serialBackend) MatMul(a, b, out []float32, m, n, k int) {
+	matMulRange(a, b, out, n, k, 0, m)
+}
+
+func (serialBackend) MatMulTA(a, b, out []float32, m, n, k int) {
+	matMulTARange(a, b, out, m, n, k, 0, m)
+}
+
+func (serialBackend) MatMulTB(a, b, out []float32, m, n, k int) {
+	matMulTBRange(a, b, out, n, k, 0, m)
+}
+
+// --- sparse ---
+
+// spMMRange accumulates destination rows [lo,hi) of A @ x into out.
+func spMMRange(rowPtr, colIdx []int32, vals []float32, x, out []float32, f, lo, hi int) {
+	for dst := lo; dst < hi; dst++ {
+		orow := out[dst*f : (dst+1)*f]
+		row := colIdx[rowPtr[dst]:rowPtr[dst+1]]
+		var w []float32
+		if vals != nil {
+			w = vals[rowPtr[dst]:rowPtr[dst+1]]
+		}
+		for k, src := range row {
+			xrow := x[int(src)*f : int(src)*f+f]
+			if w != nil {
+				wv := w[k]
+				for j := 0; j < f; j++ {
+					orow[j] += wv * xrow[j]
+				}
+			} else {
+				for j := 0; j < f; j++ {
+					orow[j] += xrow[j]
+				}
+			}
+		}
+	}
+}
+
+func (serialBackend) SpMM(rowPtr, colIdx []int32, vals []float32, x, out []float32, rows, f int) {
+	spMMRange(rowPtr, colIdx, vals, x, out, f, 0, rows)
+}
+
+// --- convolution ---
+
+// conv2DRange computes output (batch, out-channel) pairs [lo,hi) — flat
+// index b*Cout+oc — of the forward convolution.
+func conv2DRange(x, w, out []float32, p ConvParams, lo, hi int) {
+	for bc := lo; bc < hi; bc++ {
+		b, oc := bc/p.Cout, bc%p.Cout
+		for oy := 0; oy < p.OH; oy++ {
+			for ox := 0; ox < p.OW; ox++ {
+				var s float32
+				iy0 := oy*p.StrideH - p.PadH
+				ix0 := ox*p.StrideW - p.PadW
+				for ic := 0; ic < p.Cin; ic++ {
+					for ky := 0; ky < p.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= p.H {
+							continue
+						}
+						xBase := ((b*p.Cin+ic)*p.H + iy) * p.W
+						wBase := ((oc*p.Cin+ic)*p.KH + ky) * p.KW
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= p.W {
+								continue
+							}
+							s += x[xBase+ix] * w[wBase+kx]
+						}
+					}
+				}
+				out[((b*p.Cout+oc)*p.OH+oy)*p.OW+ox] = s
+			}
+		}
+	}
+}
+
+// conv2DGradInputRange accumulates dx for (batch, in-channel) pairs [lo,hi)
+// — flat index b*Cin+ic. For a fixed (b,ic), contributions arrive in
+// (oc,oy,ox,ky,kx) order, exactly as in the serial loop nest.
+func conv2DGradInputRange(dy, w, dx []float32, p ConvParams, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		b, ic := bi/p.Cin, bi%p.Cin
+		for oc := 0; oc < p.Cout; oc++ {
+			for oy := 0; oy < p.OH; oy++ {
+				for ox := 0; ox < p.OW; ox++ {
+					g := dy[((b*p.Cout+oc)*p.OH+oy)*p.OW+ox]
+					if g == 0 {
+						continue
+					}
+					iy0 := oy*p.StrideH - p.PadH
+					ix0 := ox*p.StrideW - p.PadW
+					for ky := 0; ky < p.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= p.H {
+							continue
+						}
+						xBase := ((b*p.Cin+ic)*p.H + iy) * p.W
+						wBase := ((oc*p.Cin+ic)*p.KH + ky) * p.KW
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= p.W {
+								continue
+							}
+							dx[xBase+ix] += g * w[wBase+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// conv2DGradWeightRange accumulates dw for output channels [lo,hi): each
+// channel owns a disjoint filter slab, with contributions in (b,oy,ox)
+// order as in the serial loop nest.
+func conv2DGradWeightRange(x, dy, dw []float32, p ConvParams, lo, hi int) {
+	for oc := lo; oc < hi; oc++ {
+		for b := 0; b < p.N; b++ {
+			for oy := 0; oy < p.OH; oy++ {
+				for ox := 0; ox < p.OW; ox++ {
+					g := dy[((b*p.Cout+oc)*p.OH+oy)*p.OW+ox]
+					if g == 0 {
+						continue
+					}
+					iy0 := oy*p.StrideH - p.PadH
+					ix0 := ox*p.StrideW - p.PadW
+					for ic := 0; ic < p.Cin; ic++ {
+						for ky := 0; ky < p.KH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= p.H {
+								continue
+							}
+							xBase := ((b*p.Cin+ic)*p.H + iy) * p.W
+							wBase := ((oc*p.Cin+ic)*p.KH + ky) * p.KW
+							for kx := 0; kx < p.KW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= p.W {
+									continue
+								}
+								dw[wBase+kx] += g * x[xBase+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (serialBackend) Conv2D(x, w, out []float32, p ConvParams) {
+	conv2DRange(x, w, out, p, 0, p.N*p.Cout)
+}
+
+func (serialBackend) Conv2DGradInput(dy, w, dx []float32, p ConvParams) {
+	conv2DGradInputRange(dy, w, dx, p, 0, p.N*p.Cin)
+}
+
+func (serialBackend) Conv2DGradWeight(x, dy, dw []float32, p ConvParams) {
+	conv2DGradWeightRange(x, dy, dw, p, 0, p.Cout)
+}
+
+const negInf32 = float32(-3.4e38)
+
+// maxPool2DRange pools (batch, channel) planes [lo,hi) — flat index b*c+ch.
+func maxPool2DRange(x, out []float32, arg []int32, h, w, k, lo, hi int) {
+	oh, ow := h/k, w/k
+	for pi := lo; pi < hi; pi++ {
+		plane := pi * h * w
+		o := pi * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := negInf32
+				bi := 0
+				for ky := 0; ky < k; ky++ {
+					rowBase := plane + (oy*k+ky)*w + ox*k
+					for kx := 0; kx < k; kx++ {
+						if v := x[rowBase+kx]; v > best {
+							best = v
+							bi = rowBase + kx
+						}
+					}
+				}
+				out[o] = best
+				arg[o] = int32(bi)
+				o++
+			}
+		}
+	}
+}
+
+func (serialBackend) MaxPool2D(x, out []float32, arg []int32, n, c, h, w, k int) {
+	maxPool2DRange(x, out, arg, h, w, k, 0, n*c)
+}
+
+// ScatterAdd runs serially under every backend: idx may name colliding
+// destinations, so the accumulation order is part of the contract.
+func (serialBackend) ScatterAdd(dst, src []float32, idx []int32) {
+	for i, a := range idx {
+		dst[a] += src[i]
+	}
+}
+
+// --- gather / scatter rows ---
+
+// gatherRowsRange copies selected rows [lo,hi) of idx into out.
+func gatherRowsRange(x, out []float32, idx []int32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := int(idx[i])
+		copy(out[i*f:(i+1)*f], x[v*f:(v+1)*f])
+	}
+}
+
+func (serialBackend) GatherRows(x, out []float32, idx []int32, f int) {
+	gatherRowsRange(x, out, idx, f, 0, len(idx))
+}
+
+// scatterAddRowsRange accumulates columns [loCol,hiCol) of every src row
+// into dst: a column partition is race-free under colliding row indices and
+// preserves the per-element accumulation order (i ascending).
+func scatterAddRowsRange(dst, src []float32, idx []int32, f, loCol, hiCol int) {
+	for i, v := range idx {
+		drow := dst[int(v)*f : int(v)*f+f]
+		srow := src[i*f : (i+1)*f]
+		for j := loCol; j < hiCol; j++ {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+func (serialBackend) ScatterAddRows(dst, src []float32, idx []int32, f int) {
+	scatterAddRowsRange(dst, src, idx, f, 0, f)
+}
+
+// --- reductions ---
+
+// SumAll accumulates in float64 in index order; it stays serial under every
+// backend so scalar losses are bitwise stable across backends.
+func (serialBackend) SumAll(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// sumRowsRange accumulates columns [loCol,hiCol) of the row reduction: for
+// each output column, rows are added in ascending order as in the serial
+// row-major loop.
+func sumRowsRange(x, out []float32, n, f, loCol, hiCol int) {
+	for j := loCol; j < hiCol; j++ {
+		for i := 0; i < n; i++ {
+			out[j] += x[i*f+j]
+		}
+	}
+}
+
+func (serialBackend) SumRows(x, out []float32, n, f int) {
+	sumRowsRange(x, out, n, f, 0, f)
+}
+
+// sumColsRange writes row sums for rows [lo,hi).
+func sumColsRange(x, out []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float32
+		for _, v := range x[i*f : (i+1)*f] {
+			s += v
+		}
+		out[i] = s
+	}
+}
+
+func (serialBackend) SumCols(x, out []float32, n, f int) {
+	sumColsRange(x, out, f, 0, n)
+}
+
+// maxColsRange writes row maxima and argmax for rows [lo,hi).
+func maxColsRange(x, out []float32, arg []int32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x[i*f : (i+1)*f]
+		best, bi := row[0], 0
+		for j := 1; j < f; j++ {
+			if row[j] > best {
+				best, bi = row[j], j
+			}
+		}
+		out[i] = best
+		arg[i] = int32(bi)
+	}
+}
+
+func (serialBackend) MaxCols(x, out []float32, arg []int32, n, f int) {
+	maxColsRange(x, out, arg, f, 0, n)
+}
+
+// softmaxRange writes the stabilized softmax of rows [lo,hi).
+func softmaxRange(x, out []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x[i*f : (i+1)*f]
+		orow := out[i*f : (i+1)*f]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			ev := math.Exp(float64(v - maxv))
+			orow[j] = float32(ev)
+			sum += ev
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+}
+
+func (serialBackend) Softmax(x, out []float32, n, f int) {
+	softmaxRange(x, out, f, 0, n)
+}
+
+// logSoftmaxRange writes the log-softmax of rows [lo,hi).
+func logSoftmaxRange(x, out []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x[i*f : (i+1)*f]
+		orow := out[i*f : (i+1)*f]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lse := float32(math.Log(sum)) + maxv
+		for j, v := range row {
+			orow[j] = v - lse
+		}
+	}
+}
+
+func (serialBackend) LogSoftmax(x, out []float32, n, f int) {
+	logSoftmaxRange(x, out, f, 0, n)
+}
+
+// --- element-wise ---
+
+func addRange(out, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] + b[i]
+	}
+}
+
+func subRange(out, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] - b[i]
+	}
+}
+
+func mulRange(out, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] * b[i]
+	}
+}
+
+func scaleRange(out, a []float32, s float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] * s
+	}
+}
+
+func addScalarRange(out, a []float32, s float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] + s
+	}
+}
+
+func addScaledRange(out, a, b []float32, s float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = a[i] + s*b[i]
+	}
+}
+
+func reluRange(out, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if x[i] > 0 {
+			out[i] = x[i]
+		}
+	}
+}
+
+func reluBackwardRange(out, x, dy []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if x[i] > 0 {
+			out[i] = dy[i]
+		}
+	}
+}
+
+func preluRange(out, x []float32, alpha float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if x[i] > 0 {
+			out[i] = x[i]
+		} else {
+			out[i] = alpha * x[i]
+		}
+	}
+}
+
+func sigmoidRange(out, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = sigmoid32(x[i])
+	}
+}
+
+func tanhRange(out, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = tanh32(x[i])
+	}
+}
+
+func expRange(out, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = float32(math.Exp(float64(x[i])))
+	}
+}
+
+func sigmoid32(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
+func tanh32(x float32) float32    { return float32(math.Tanh(float64(x))) }
+
+func (serialBackend) Add(out, a, b []float32)  { addRange(out, a, b, 0, len(out)) }
+func (serialBackend) Sub(out, a, b []float32)  { subRange(out, a, b, 0, len(out)) }
+func (serialBackend) Mul(out, a, b []float32)  { mulRange(out, a, b, 0, len(out)) }
+func (serialBackend) ReLU(out, x []float32)    { reluRange(out, x, 0, len(out)) }
+func (serialBackend) Sigmoid(out, x []float32) { sigmoidRange(out, x, 0, len(out)) }
+func (serialBackend) Tanh(out, x []float32)    { tanhRange(out, x, 0, len(out)) }
+func (serialBackend) Exp(out, x []float32)     { expRange(out, x, 0, len(out)) }
+
+func (serialBackend) Scale(out, a []float32, s float32) {
+	scaleRange(out, a, s, 0, len(out))
+}
+
+func (serialBackend) AddScalar(out, a []float32, s float32) {
+	addScalarRange(out, a, s, 0, len(out))
+}
+
+func (serialBackend) AddScaled(out, a, b []float32, s float32) {
+	addScaledRange(out, a, b, s, 0, len(out))
+}
+
+func (serialBackend) ReLUBackward(out, x, dy []float32) {
+	reluBackwardRange(out, x, dy, 0, len(out))
+}
+
+func (serialBackend) PReLU(out, x []float32, alpha float32) {
+	preluRange(out, x, alpha, 0, len(out))
+}
+
+func (serialBackend) Dropout(x, out, mask []float32, p float32, rng *rand.Rand) {
+	keep := 1 / (1 - p)
+	for i := range out {
+		if rng.Float32() >= p {
+			mask[i] = 1
+			out[i] = x[i] * keep
+		}
+	}
+}
+
+// --- bias / layout ---
+
+// addBiasRowsRange adds bias to rows [lo,hi).
+func addBiasRowsRange(out, x, bias []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < f; j++ {
+			out[i*f+j] = x[i*f+j] + bias[j]
+		}
+	}
+}
+
+func (serialBackend) AddBiasRows(out, x, bias []float32, n, f int) {
+	addBiasRowsRange(out, x, bias, f, 0, n)
+}
+
+// transpose2DRange transposes input rows [lo,hi): each writes a disjoint
+// output column.
+func transpose2DRange(out, x []float32, n, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < f; j++ {
+			out[j*n+i] = x[i*f+j]
+		}
+	}
+}
+
+func (serialBackend) Transpose2D(out, x []float32, n, f int) {
+	transpose2DRange(out, x, n, f, 0, n)
+}
+
+func (serialBackend) Permute4D(x, out []float32, in, perm [4]int) {
+	outShape := [4]int{in[perm[0]], in[perm[1]], in[perm[2]], in[perm[3]]}
+	is := [4]int{in[1] * in[2] * in[3], in[2] * in[3], in[3], 1}
+	o := 0
+	for a := 0; a < outShape[0]; a++ {
+		for b := 0; b < outShape[1]; b++ {
+			for c := 0; c < outShape[2]; c++ {
+				base := a*is[perm[0]] + b*is[perm[1]] + c*is[perm[2]]
+				sd := is[perm[3]]
+				for d := 0; d < outShape[3]; d++ {
+					out[o] = x[base+d*sd]
+					o++
+				}
+			}
+		}
+	}
+}
+
+// addChannelBiasRange adds the channel bias to planes [lo,hi) — flat index
+// b*c+ch.
+func addChannelBiasRange(out, x, bias []float32, c, plane, lo, hi int) {
+	for pi := lo; pi < hi; pi++ {
+		base := pi * plane
+		bv := bias[pi%c]
+		for i := 0; i < plane; i++ {
+			out[base+i] = x[base+i] + bv
+		}
+	}
+}
+
+func (serialBackend) AddChannelBias(out, x, bias []float32, n, c, plane int) {
+	addChannelBiasRange(out, x, bias, c, plane, 0, n*c)
+}
+
+// channelBiasGradRange reduces dy over batch and plane for channels
+// [lo,hi), accumulating per channel in ascending-batch order.
+func channelBiasGradRange(dy, out []float32, n, c, plane, lo, hi int) {
+	for ch := lo; ch < hi; ch++ {
+		for b := 0; b < n; b++ {
+			base := (b*c + ch) * plane
+			var s float32
+			for i := 0; i < plane; i++ {
+				s += dy[base+i]
+			}
+			out[ch] += s
+		}
+	}
+}
+
+func (serialBackend) ChannelBiasGrad(dy, out []float32, n, c, plane int) {
+	channelBiasGradRange(dy, out, n, c, plane, 0, c)
+}
+
+// --- norms ---
+
+// batchNormStatsRange accumulates mean and variance for columns [lo,hi),
+// adding rows in ascending order per column as the serial loop does.
+func batchNormStatsRange(x, mean, variance []float32, n, f, loCol, hiCol int) {
+	inv := float32(1)
+	if n > 0 {
+		inv = 1 / float32(n)
+	}
+	for j := loCol; j < hiCol; j++ {
+		for i := 0; i < n; i++ {
+			mean[j] += x[i*f+j]
+		}
+		mean[j] *= inv
+		for i := 0; i < n; i++ {
+			d := x[i*f+j] - mean[j]
+			variance[j] += d * d
+		}
+		variance[j] *= inv
+	}
+}
+
+func (serialBackend) BatchNormStats(x, mean, variance []float32, n, f int) {
+	batchNormStatsRange(x, mean, variance, n, f, 0, f)
+}
+
+// batchNormApplyRange normalizes rows [lo,hi) given precomputed inverse
+// standard deviations.
+func batchNormApplyRange(x, mean, inv, gamma, beta, out []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x[i*f : (i+1)*f]
+		orow := out[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			orow[j] = gamma[j]*(row[j]-mean[j])*inv[j] + beta[j]
+		}
+	}
+}
+
+// batchNormInvStd precomputes the per-column 1/sqrt(var+eps) factors.
+func batchNormInvStd(variance []float32, eps float32) []float32 {
+	inv := make([]float32, len(variance))
+	for j, v := range variance {
+		inv[j] = float32(1 / math.Sqrt(float64(v+eps)))
+	}
+	return inv
+}
+
+func (serialBackend) BatchNormApply(x, mean, variance, gamma, beta, out []float32, n, f int, eps float32) {
+	inv := batchNormInvStd(variance, eps)
+	batchNormApplyRange(x, mean, inv, gamma, beta, out, f, 0, n)
+}
+
+// batchNormBackwardRange computes gradients for columns [lo,hi): per-column
+// row sums (in ascending order), then the dx column.
+func batchNormBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, n, f int, eps float32, loCol, hiCol int) {
+	invN := 1 / float64(n)
+	for j := loCol; j < hiCol; j++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			sumDy += float64(dy[i*f+j])
+			sumDyXhat += float64(dy[i*f+j] * xhat[i*f+j])
+		}
+		dgamma[j] = float32(sumDyXhat)
+		dbeta[j] = float32(sumDy)
+		invStd := 1 / math.Sqrt(float64(variance[j]+eps))
+		for i := 0; i < n; i++ {
+			dx[i*f+j] = float32(float64(gamma[j]) * invStd *
+				(float64(dy[i*f+j]) - invN*sumDy - float64(xhat[i*f+j])*invN*sumDyXhat))
+		}
+	}
+}
+
+func (serialBackend) BatchNormBackward(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, n, f int, eps float32) {
+	batchNormBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, n, f, eps, 0, f)
+}
+
+// layerNormForwardRange normalizes rows [lo,hi).
+func layerNormForwardRange(x, gamma, beta, out, xhat, invStd []float32, f int, eps float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x[i*f : (i+1)*f]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(f)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(f)
+		is := 1 / math.Sqrt(variance+float64(eps))
+		invStd[i] = float32(is)
+		xr := xhat[i*f : (i+1)*f]
+		or := out[i*f : (i+1)*f]
+		for j, v := range row {
+			xh := float32((float64(v) - mean) * is)
+			xr[j] = xh
+			or[j] = gamma[j]*xh + beta[j]
+		}
+	}
+}
+
+func (serialBackend) LayerNormForward(x, gamma, beta, out, xhat, invStd []float32, n, f int, eps float32) {
+	layerNormForwardRange(x, gamma, beta, out, xhat, invStd, f, eps, 0, n)
+}
+
+// layerNormDXRange computes the dx rows [lo,hi); per-row sums are local.
+func layerNormDXRange(xhat, invStd, dy, gamma, dx []float32, f, lo, hi int) {
+	invF := 1 / float64(f)
+	for i := lo; i < hi; i++ {
+		dr := dy[i*f : (i+1)*f]
+		xr := xhat[i*f : (i+1)*f]
+		dxr := dx[i*f : (i+1)*f]
+		var sumDyG, sumDyGXhat float64
+		for j := 0; j < f; j++ {
+			dyg := float64(dr[j]) * float64(gamma[j])
+			sumDyG += dyg
+			sumDyGXhat += dyg * float64(xr[j])
+		}
+		is := float64(invStd[i])
+		for j := 0; j < f; j++ {
+			dyg := float64(dr[j]) * float64(gamma[j])
+			dxr[j] = float32(is * (dyg - invF*sumDyG - float64(xr[j])*invF*sumDyGXhat))
+		}
+	}
+}
+
+// layerNormDParamsRange accumulates dgamma/dbeta for columns [loCol,hiCol),
+// adding rows in ascending order.
+func layerNormDParamsRange(xhat, dy, dgamma, dbeta []float32, n, f, loCol, hiCol int) {
+	for j := loCol; j < hiCol; j++ {
+		for i := 0; i < n; i++ {
+			dgamma[j] += dy[i*f+j] * xhat[i*f+j]
+			dbeta[j] += dy[i*f+j]
+		}
+	}
+}
+
+func (serialBackend) LayerNormBackward(xhat, invStd, dy, gamma, dx, dgamma, dbeta []float32, n, f int) {
+	layerNormDXRange(xhat, invStd, dy, gamma, dx, f, 0, n)
+	layerNormDParamsRange(xhat, dy, dgamma, dbeta, n, f, 0, f)
+}
+
+// batchNorm2DRange normalizes channels [lo,hi) of x (b,c,plane).
+func batchNorm2DRange(x, gamma, beta, out, xhat, variance []float32, b, c, plane int, eps float32, lo, hi int) {
+	count := float64(b * plane)
+	for ch := lo; ch < hi; ch++ {
+		var sum float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				sum += float64(x[base+i])
+			}
+		}
+		mean := sum / count
+		var vs float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				d := float64(x[base+i]) - mean
+				vs += d * d
+			}
+		}
+		v := vs / count
+		variance[ch] = float32(v)
+		invStd := 1 / math.Sqrt(v+float64(eps))
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				h := float32((float64(x[base+i]) - mean) * invStd)
+				xhat[base+i] = h
+				out[base+i] = gamma[ch]*h + beta[ch]
+			}
+		}
+	}
+}
+
+func (serialBackend) BatchNorm2D(x, gamma, beta, out, xhat, variance []float32, b, c, plane int, eps float32) {
+	batchNorm2DRange(x, gamma, beta, out, xhat, variance, b, c, plane, eps, 0, c)
+}
+
+// batchNorm2DBackwardRange computes gradients for channels [lo,hi).
+func batchNorm2DBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, b, c, plane int, eps float32, lo, hi int) {
+	count := float64(b * plane)
+	for ch := lo; ch < hi; ch++ {
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				sumDy += float64(dy[base+i])
+				sumDyXhat += float64(dy[base+i] * xhat[base+i])
+			}
+		}
+		dgamma[ch] = float32(sumDyXhat)
+		dbeta[ch] = float32(sumDy)
+		invStd := 1 / math.Sqrt(float64(variance[ch]+eps))
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				dx[base+i] = float32(float64(gamma[ch]) * invStd *
+					(float64(dy[base+i]) - sumDy/count - float64(xhat[base+i])*sumDyXhat/count))
+			}
+		}
+	}
+}
+
+func (serialBackend) BatchNorm2DBackward(xhat, dy, variance, gamma, dx, dgamma, dbeta []float32, b, c, plane int, eps float32) {
+	batchNorm2DBackwardRange(xhat, dy, variance, gamma, dx, dgamma, dbeta, b, c, plane, eps, 0, c)
+}
+
+// --- fused cells ---
+
+// glu4DRange gates (batch, channel) planes [lo,hi) — flat index bi*c+ch.
+func glu4DRange(x, out, gate []float32, c, plane, lo, hi int) {
+	c2 := 2 * c
+	for pi := lo; pi < hi; pi++ {
+		bi, ch := pi/c, pi%c
+		aBase := (bi*c2 + ch) * plane
+		gBase := (bi*c2 + c + ch) * plane
+		oBase := (bi*c + ch) * plane
+		for i := 0; i < plane; i++ {
+			g := sigmoid32(x[gBase+i])
+			gate[oBase+i] = g
+			out[oBase+i] = x[aBase+i] * g
+		}
+	}
+}
+
+func (serialBackend) GLU4D(x, out, gate []float32, b, c, plane int) {
+	glu4DRange(x, out, gate, c, plane, 0, b*c)
+}
+
+// glu4DBackwardRange back-propagates planes [lo,hi).
+func glu4DBackwardRange(x, gate, dy, dx []float32, c, plane, lo, hi int) {
+	c2 := 2 * c
+	for pi := lo; pi < hi; pi++ {
+		bi, ch := pi/c, pi%c
+		aBase := (bi*c2 + ch) * plane
+		gBase := (bi*c2 + c + ch) * plane
+		oBase := (bi*c + ch) * plane
+		for i := 0; i < plane; i++ {
+			g := gate[oBase+i]
+			dx[aBase+i] = dy[oBase+i] * g
+			dx[gBase+i] = dy[oBase+i] * x[aBase+i] * g * (1 - g)
+		}
+	}
+}
+
+func (serialBackend) GLU4DBackward(x, gate, dy, dx []float32, b, c, plane int) {
+	glu4DBackwardRange(x, gate, dy, dx, c, plane, 0, b*c)
+}
+
+// lstmCellForwardRange applies the pointwise cell to rows [lo,hi).
+func lstmCellForwardRange(gates, cPrev, gi, gf, gg, go_, cNew, h []float32, hd, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		gr := gates[r*4*hd : (r+1)*4*hd]
+		cp := cPrev[r*hd : (r+1)*hd]
+		ir, fr := gi[r*hd:(r+1)*hd], gf[r*hd:(r+1)*hd]
+		gr2, or := gg[r*hd:(r+1)*hd], go_[r*hd:(r+1)*hd]
+		cn, hr := cNew[r*hd:(r+1)*hd], h[r*hd:(r+1)*hd]
+		for j := 0; j < hd; j++ {
+			ir[j] = sigmoid32(gr[j])
+			fr[j] = sigmoid32(gr[hd+j])
+			gr2[j] = tanh32(gr[2*hd+j])
+			or[j] = sigmoid32(gr[3*hd+j])
+			cn[j] = fr[j]*cp[j] + ir[j]*gr2[j]
+			hr[j] = or[j] * tanh32(cn[j])
+		}
+	}
+}
+
+func (serialBackend) LSTMCellForward(gates, cPrev, gi, gf, gg, go_, cNew, h []float32, b, hd int) {
+	lstmCellForwardRange(gates, cPrev, gi, gf, gg, go_, cNew, h, hd, 0, b)
+}
+
+// lstmCellBackwardRange back-propagates rows [lo,hi); dH/dC may be nil.
+func lstmCellBackwardRange(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev []float32, hd, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		ir, fr := gi[r*hd:(r+1)*hd], gf[r*hd:(r+1)*hd]
+		gr, or := gg[r*hd:(r+1)*hd], go_[r*hd:(r+1)*hd]
+		cp, cn := cPrev[r*hd:(r+1)*hd], cNew[r*hd:(r+1)*hd]
+		dg := dGates[r*4*hd : (r+1)*4*hd]
+		dcp := dCPrev[r*hd : (r+1)*hd]
+		for j := 0; j < hd; j++ {
+			var dh, dc float32
+			if dH != nil {
+				dh = dH[r*hd+j]
+			}
+			if dC != nil {
+				dc = dC[r*hd+j]
+			}
+			tc := tanh32(cn[j])
+			dcTot := dc + dh*or[j]*(1-tc*tc)
+			dO := dh * tc
+			dF := dcTot * cp[j]
+			dI := dcTot * gr[j]
+			dG := dcTot * ir[j]
+			dg[j] = dI * ir[j] * (1 - ir[j])
+			dg[hd+j] = dF * fr[j] * (1 - fr[j])
+			dg[2*hd+j] = dG * (1 - gr[j]*gr[j])
+			dg[3*hd+j] = dO * or[j] * (1 - or[j])
+			dcp[j] = dcTot * fr[j]
+		}
+	}
+}
+
+func (serialBackend) LSTMCellBackward(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev []float32, b, hd int) {
+	lstmCellBackwardRange(gi, gf, gg, go_, cPrev, cNew, dH, dC, dGates, dCPrev, hd, 0, b)
+}
+
+// --- losses ---
+
+// bceWithLogitsRange writes the stabilized BCE for elements [lo,hi).
+func bceWithLogitsRange(logits, targets, out []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x, y := float64(logits[i]), float64(targets[i])
+		out[i] = float32(math.Log1p(math.Exp(-math.Abs(x))) + math.Max(x, 0) - x*y)
+	}
+}
+
+func (serialBackend) BCEWithLogits(logits, targets, out []float32) {
+	bceWithLogitsRange(logits, targets, out, 0, len(out))
+}
+
+// bceWithLogitsBackwardRange writes (sigmoid(x)-y)*g for elements [lo,hi).
+func bceWithLogitsBackwardRange(logits, targets, dx []float32, g float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sig := 1 / (1 + math.Exp(-float64(logits[i])))
+		dx[i] = (float32(sig) - targets[i]) * g
+	}
+}
+
+func (serialBackend) BCEWithLogitsBackward(logits, targets, dx []float32, g float32) {
+	bceWithLogitsBackwardRange(logits, targets, dx, g, 0, len(dx))
+}
+
+// --- optimizer steps ---
+
+// sgdStepRange updates parameters [lo,hi) in place.
+func sgdStepRange(p, g, buf []float32, lr, momentum, weightDecay float32, lo, hi int) {
+	if buf != nil {
+		for i := lo; i < hi; i++ {
+			upd := g[i] + weightDecay*p[i]
+			buf[i] = momentum*buf[i] + upd
+			p[i] -= lr * buf[i]
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			p[i] -= lr * (g[i] + weightDecay*p[i])
+		}
+	}
+}
+
+func (serialBackend) SGDStep(p, g, buf []float32, lr, momentum, weightDecay float32) {
+	sgdStepRange(p, g, buf, lr, momentum, weightDecay, 0, len(p))
+}
+
+// adamStepRange updates parameters [lo,hi) in place given precomputed bias
+// corrections.
+func adamStepRange(p, g, m, v []float32, lr, beta1, beta2, eps, bc1, bc2 float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m[i] = beta1*m[i] + (1-beta1)*g[i]
+		v[i] = beta2*v[i] + (1-beta2)*g[i]*g[i]
+		mhat := m[i] / bc1
+		vhat := v[i] / bc2
+		p[i] -= lr * mhat / (float32(math.Sqrt(float64(vhat))) + eps)
+	}
+}
+
+// adamBias returns the step's bias-correction factors.
+func adamBias(beta1, beta2 float32, step int) (bc1, bc2 float32) {
+	bc1 = 1 - float32(math.Pow(float64(beta1), float64(step)))
+	bc2 = 1 - float32(math.Pow(float64(beta2), float64(step)))
+	return bc1, bc2
+}
+
+func (serialBackend) AdamStep(p, g, m, v []float32, lr, beta1, beta2, eps float32, step int) {
+	bc1, bc2 := adamBias(beta1, beta2, step)
+	adamStepRange(p, g, m, v, lr, beta1, beta2, eps, bc1, bc2, 0, len(p))
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gnnmark/internal/backend"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
@@ -164,6 +165,10 @@ type RunConfig struct {
 	GPU string
 	// BatchDivisor shards the per-iteration batch (used by DDP studies).
 	BatchDivisor int
+	// Backend selects the CPU numerics backend: "serial" (default) or
+	// "parallel". Both produce bitwise-identical results; parallel tiles
+	// large kernels across a worker pool to speed up simulation wall-clock.
+	Backend string
 }
 
 func (c *RunConfig) defaults() {
@@ -228,9 +233,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 	devCfg.MaxSampledWarps = cfg.SampledWarps
 	devCfg.HalfPrecision = cfg.HalfPrecision
 	devCfg.BypassL1 = cfg.BypassL1
+	be, err := backend.New(cfg.Backend)
+	if err != nil {
+		return RunResult{}, err
+	}
 	dev := gpu.New(devCfg)
 	prof := profiler.Attach(dev)
-	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 	env.OnIteration = prof.NextIteration
 	env.Training = !cfg.ForwardOnly
 
@@ -247,6 +256,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		res.Losses = append(res.Losses, w.TrainEpoch())
 		prof.MarkEpoch()
+		// Drop dead per-tensor address bookkeeping between epochs so the
+		// engine's maps track live tensors, not every activation ever seen.
+		env.E.Reset()
 	}
 	res.Report = prof.Snapshot()
 	res.SparsityTimeline = prof.SparsityTimeline()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gnnmark/internal/backend"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
@@ -53,9 +54,13 @@ func TimeToTrain(cfg RunConfig, targetLoss float64, maxEpochs int) (TTTResult, e
 	}
 	devCfg.MaxSampledWarps = cfg.SampledWarps
 	devCfg.HalfPrecision = cfg.HalfPrecision
+	be, err := backend.New(cfg.Backend)
+	if err != nil {
+		return TTTResult{}, err
+	}
 	dev := gpu.New(devCfg)
 	prof := profiler.Attach(dev)
-	env := models.NewEnv(ops.New(dev), cfg.Seed)
+	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 	env.OnIteration = prof.NextIteration
 
 	w := spec.Build(env, dataset, cfg.BatchDivisor)
@@ -69,6 +74,7 @@ func TimeToTrain(cfg RunConfig, targetLoss float64, maxEpochs int) (TTTResult, e
 	_ = nn.NumParams(w.Params()) // touch params so misconfigured builds fail fast
 	for ep := 0; ep < maxEpochs; ep++ {
 		loss := w.TrainEpoch()
+		env.E.Reset()
 		res.LossCurve = append(res.LossCurve, loss)
 		res.Epochs = ep + 1
 		res.FinalLoss = loss

@@ -266,7 +266,14 @@ func PreferentialAttachment(rng *rand.Rand, n, m int) *CSR {
 				seen[t] = true
 			}
 		}
+		// Attach in sorted order: map iteration order would make the
+		// generated graph (and everything trained on it) vary run to run.
+		picked := make([]int32, 0, m)
 		for u := range seen {
+			picked = append(picked, u)
+		}
+		sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+		for _, u := range picked {
 			edges = append(edges, Edge{Src: u, Dst: int32(v)}, Edge{Src: int32(v), Dst: u})
 			targets = append(targets, u, int32(v))
 		}

@@ -3,151 +3,68 @@ package ops
 import (
 	"fmt"
 
+	"gnnmark/internal/backend"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/tensor"
 )
 
-// conv2DDims validates shapes and returns the output spatial dimensions.
-func conv2DDims(x, w *tensor.Tensor, strideH, strideW, padH, padW int) (n, cin, h, wd, cout, kh, kw, oh, ow int) {
+// conv2DDims validates shapes and returns the backend geometry descriptor,
+// including the output spatial dimensions.
+func conv2DDims(x, w *tensor.Tensor, strideH, strideW, padH, padW int) backend.ConvParams {
 	if x.Dims() != 4 || w.Dims() != 4 {
 		panic(fmt.Sprintf("ops: Conv2D requires 4-D tensors, got %v %v", x.Shape(), w.Shape()))
 	}
-	n, cin, h, wd = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	cout, kh, kw = w.Dim(0), w.Dim(2), w.Dim(3)
-	if w.Dim(1) != cin {
+	p := backend.ConvParams{
+		N: x.Dim(0), Cin: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+		Cout: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW,
+	}
+	if w.Dim(1) != p.Cin {
 		shapePanic("Conv2D", x, w)
 	}
-	oh = (h+2*padH-kh)/strideH + 1
-	ow = (wd+2*padW-kw)/strideW + 1
-	if oh < 1 || ow < 1 {
+	p.OH = (p.H+2*padH-p.KH)/strideH + 1
+	p.OW = (p.W+2*padW-p.KW)/strideW + 1
+	if p.OH < 1 || p.OW < 1 {
 		panic("ops: Conv2D output would be empty")
 	}
-	return
+	return p
 }
 
 // Conv2D computes a dense 2-D convolution of x (N,Cin,H,W) with filters
 // w (Cout,Cin,KH,KW), the temporal-convolution workhorse of STGCN.
 func (e *Engine) Conv2D(x, w *tensor.Tensor, strideH, strideW, padH, padW int) *tensor.Tensor {
-	n, cin, h, wd, cout, kh, kw, oh, ow := conv2DDims(x, w, strideH, strideW, padH, padW)
-	out := tensor.New(n, cout, oh, ow)
-	xd, wdt, od := x.Data(), w.Data(), out.Data()
-
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var s float32
-					iy0 := oy*strideH - padH
-					ix0 := ox*strideW - padW
-					for ic := 0; ic < cin; ic++ {
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xBase := ((b*cin+ic)*h + iy) * wd
-							wBase := ((oc*cin+ic)*kh + ky) * kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								s += xd[xBase+ix] * wdt[wBase+kx]
-							}
-						}
-					}
-					od[((b*cout+oc)*oh+oy)*ow+ox] = s
-				}
-			}
-		}
-	}
-	e.launchConv("conv2d_fwd", x, w, out, uint64(n*cout*oh*ow)*uint64(cin*kh*kw))
+	p := conv2DDims(x, w, strideH, strideW, padH, padW)
+	out := tensor.New(p.N, p.Cout, p.OH, p.OW)
+	e.be.Conv2D(x.Data(), w.Data(), out.Data(), p)
+	e.launchConv("conv2d_fwd", x, w, out, uint64(p.N*p.Cout*p.OH*p.OW)*uint64(p.Cin*p.KH*p.KW))
 	return out
 }
 
 // Conv2DGradInput computes the input gradient of Conv2D.
 func (e *Engine) Conv2DGradInput(dy, w *tensor.Tensor, xShape []int, strideH, strideW, padH, padW int) *tensor.Tensor {
 	dx := tensor.New(xShape...)
-	n, cin, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
-	cout, kh, kw := w.Dim(0), w.Dim(2), w.Dim(3)
-	oh, ow := dy.Dim(2), dy.Dim(3)
-	dyd, wdt, dxd := dy.Data(), w.Data(), dx.Data()
-
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := dyd[((b*cout+oc)*oh+oy)*ow+ox]
-					if g == 0 {
-						continue
-					}
-					iy0 := oy*strideH - padH
-					ix0 := ox*strideW - padW
-					for ic := 0; ic < cin; ic++ {
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xBase := ((b*cin+ic)*h + iy) * wd
-							wBase := ((oc*cin+ic)*kh + ky) * kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								dxd[xBase+ix] += g * wdt[wBase+kx]
-							}
-						}
-					}
-				}
-			}
-		}
+	p := backend.ConvParams{
+		N: xShape[0], Cin: xShape[1], H: xShape[2], W: xShape[3],
+		Cout: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW,
+		OH: dy.Dim(2), OW: dy.Dim(3),
 	}
-	e.launchConv("conv2d_bwd_input", dy, w, dx, uint64(dy.Size())*uint64(cin*kh*kw))
+	e.be.Conv2DGradInput(dy.Data(), w.Data(), dx.Data(), p)
+	e.launchConv("conv2d_bwd_input", dy, w, dx, uint64(dy.Size())*uint64(p.Cin*p.KH*p.KW))
 	return dx
 }
 
 // Conv2DGradWeight computes the filter gradient of Conv2D.
 func (e *Engine) Conv2DGradWeight(x, dy *tensor.Tensor, wShape []int, strideH, strideW, padH, padW int) *tensor.Tensor {
 	dw := tensor.New(wShape...)
-	n, cin, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	cout, kh, kw := wShape[0], wShape[2], wShape[3]
-	oh, ow := dy.Dim(2), dy.Dim(3)
-	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
-
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := dyd[((b*cout+oc)*oh+oy)*ow+ox]
-					if g == 0 {
-						continue
-					}
-					iy0 := oy*strideH - padH
-					ix0 := ox*strideW - padW
-					for ic := 0; ic < cin; ic++ {
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xBase := ((b*cin+ic)*h + iy) * wd
-							wBase := ((oc*cin+ic)*kh + ky) * kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								dwd[wBase+kx] += g * xd[xBase+ix]
-							}
-						}
-					}
-				}
-			}
-		}
+	p := backend.ConvParams{
+		N: x.Dim(0), Cin: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+		Cout: wShape[0], KH: wShape[2], KW: wShape[3],
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW,
+		OH: dy.Dim(2), OW: dy.Dim(3),
 	}
-	e.launchConv("conv2d_bwd_weight", x, dy, dw, uint64(dy.Size())*uint64(cin*kh*kw))
+	e.be.Conv2DGradWeight(x.Data(), dy.Data(), dw.Data(), p)
+	e.launchConv("conv2d_bwd_weight", x, dy, dw, uint64(dy.Size())*uint64(p.Cin*p.KH*p.KW))
 	return dw
 }
 
@@ -165,31 +82,7 @@ func (e *Engine) MaxPool2D(x *tensor.Tensor, k int) (*tensor.Tensor, []int32) {
 	}
 	out := tensor.New(n, c, oh, ow)
 	arg := make([]int32, out.Size())
-	xd, od := x.Data(), out.Data()
-	o := 0
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			plane := (b*c + ch) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(negInf32)
-					bi := 0
-					for ky := 0; ky < k; ky++ {
-						rowBase := plane + (oy*k+ky)*w + ox*k
-						for kx := 0; kx < k; kx++ {
-							if v := xd[rowBase+kx]; v > best {
-								best = v
-								bi = rowBase + kx
-							}
-						}
-					}
-					od[o] = best
-					arg[o] = int32(bi)
-					o++
-				}
-			}
-		}
-	}
+	e.be.MaxPool2D(x.Data(), out.Data(), arg, n, c, h, w, k)
 	if e.dev != nil {
 		elem := e.fpElem()
 		un := uint64(x.Size())
@@ -217,15 +110,10 @@ func (e *Engine) MaxPool2D(x *tensor.Tensor, k int) (*tensor.Tensor, []int32) {
 	return out, arg
 }
 
-const negInf32 = float32(-3.4e38)
-
 // MaxPool2DBackward scatters dy back to the argmax positions.
 func (e *Engine) MaxPool2DBackward(dy *tensor.Tensor, arg []int32, xShape []int) *tensor.Tensor {
 	dx := tensor.New(xShape...)
-	dd, xd := dy.Data(), dx.Data()
-	for i, a := range arg {
-		xd[a] += dd[i]
-	}
+	e.be.ScatterAdd(dx.Data(), dy.Data(), arg)
 	if e.dev != nil {
 		elem := e.fpElem()
 		un := uint64(dy.Size())
@@ -261,17 +149,7 @@ func (e *Engine) AddChannelBias(x, bias *tensor.Tensor) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	out := tensor.New(n, c, h, w)
-	xd, bd, od := x.Data(), bias.Data(), out.Data()
-	plane := h * w
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * plane
-			bv := bd[ch]
-			for i := 0; i < plane; i++ {
-				od[base+i] = xd[base+i] + bv
-			}
-		}
-	}
+	e.be.AddChannelBias(out.Data(), x.Data(), bias.Data(), n, c, h*w)
 	e.launchElementWise("add_channel_bias", 2, out.Size(), []*tensor.Tensor{x, bias}, out)
 	return out
 }
@@ -281,18 +159,7 @@ func (e *Engine) AddChannelBias(x, bias *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) ChannelBiasGrad(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := dy.Dim(0), dy.Dim(1), dy.Dim(2), dy.Dim(3)
 	out := tensor.New(c)
-	dd, od := dy.Data(), out.Data()
-	plane := h * w
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * plane
-			var s float32
-			for i := 0; i < plane; i++ {
-				s += dd[base+i]
-			}
-			od[ch] += s
-		}
-	}
+	e.be.ChannelBiasGrad(dy.Data(), out.Data(), n, c, h*w)
 	e.launchReduction("conv_bias_grad", dy.Size(), c, dy, out)
 	return out
 }

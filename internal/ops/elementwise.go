@@ -1,7 +1,6 @@
 package ops
 
 import (
-	"math"
 	"math/rand"
 
 	"gnnmark/internal/gpu"
@@ -74,20 +73,11 @@ func (e *Engine) launchActivation(name string, n int, in, out *tensor.Tensor) {
 	})
 }
 
-func sameShape(op string, a, b *tensor.Tensor) {
-	if !a.SameShape(b) {
-		shapePanic(op, a, b)
-	}
-}
-
 // Add returns a + b elementwise.
 func (e *Engine) Add(a, b *tensor.Tensor) *tensor.Tensor {
 	sameShape("Add", a, b)
 	out := tensor.New(a.Shape()...)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] + bd[i]
-	}
+	e.be.Add(out.Data(), a.Data(), b.Data())
 	e.launchElementWise("ew_add", 2, out.Size(), []*tensor.Tensor{a, b}, out)
 	return out
 }
@@ -96,10 +86,7 @@ func (e *Engine) Add(a, b *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) Sub(a, b *tensor.Tensor) *tensor.Tensor {
 	sameShape("Sub", a, b)
 	out := tensor.New(a.Shape()...)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] - bd[i]
-	}
+	e.be.Sub(out.Data(), a.Data(), b.Data())
 	e.launchElementWise("ew_sub", 2, out.Size(), []*tensor.Tensor{a, b}, out)
 	return out
 }
@@ -108,10 +95,7 @@ func (e *Engine) Sub(a, b *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) Mul(a, b *tensor.Tensor) *tensor.Tensor {
 	sameShape("Mul", a, b)
 	out := tensor.New(a.Shape()...)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] * bd[i]
-	}
+	e.be.Mul(out.Data(), a.Data(), b.Data())
 	e.launchElementWise("ew_mul", 2, out.Size(), []*tensor.Tensor{a, b}, out)
 	return out
 }
@@ -119,10 +103,7 @@ func (e *Engine) Mul(a, b *tensor.Tensor) *tensor.Tensor {
 // Scale returns a * s elementwise.
 func (e *Engine) Scale(a *tensor.Tensor, s float32) *tensor.Tensor {
 	out := tensor.New(a.Shape()...)
-	ad, od := a.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] * s
-	}
+	e.be.Scale(out.Data(), a.Data(), s)
 	e.launchElementWise("ew_scale", 1, out.Size(), []*tensor.Tensor{a}, out)
 	return out
 }
@@ -130,10 +111,7 @@ func (e *Engine) Scale(a *tensor.Tensor, s float32) *tensor.Tensor {
 // AddScalar returns a + s elementwise.
 func (e *Engine) AddScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
 	out := tensor.New(a.Shape()...)
-	ad, od := a.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] + s
-	}
+	e.be.AddScalar(out.Data(), a.Data(), s)
 	e.launchElementWise("ew_adds", 1, out.Size(), []*tensor.Tensor{a}, out)
 	return out
 }
@@ -142,10 +120,7 @@ func (e *Engine) AddScalar(a *tensor.Tensor, s float32) *tensor.Tensor {
 func (e *Engine) AddScaled(a, b *tensor.Tensor, s float32) *tensor.Tensor {
 	sameShape("AddScaled", a, b)
 	out := tensor.New(a.Shape()...)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
-	for i := range od {
-		od[i] = ad[i] + s*bd[i]
-	}
+	e.be.AddScaled(out.Data(), a.Data(), b.Data(), s)
 	e.launchElementWise("ew_axpy", 2, out.Size(), []*tensor.Tensor{a, b}, out)
 	return out
 }
@@ -153,12 +128,7 @@ func (e *Engine) AddScaled(a, b *tensor.Tensor, s float32) *tensor.Tensor {
 // ReLU returns max(x, 0).
 func (e *Engine) ReLU(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i := range od {
-		if xd[i] > 0 {
-			od[i] = xd[i]
-		}
-	}
+	e.be.ReLU(out.Data(), x.Data())
 	e.launchElementWise("relu", 1, out.Size(), []*tensor.Tensor{x}, out)
 	return out
 }
@@ -167,12 +137,7 @@ func (e *Engine) ReLU(x *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) ReLUBackward(x, dy *tensor.Tensor) *tensor.Tensor {
 	sameShape("ReLUBackward", x, dy)
 	out := tensor.New(x.Shape()...)
-	xd, dd, od := x.Data(), dy.Data(), out.Data()
-	for i := range od {
-		if xd[i] > 0 {
-			od[i] = dd[i]
-		}
-	}
+	e.be.ReLUBackward(out.Data(), x.Data(), dy.Data())
 	e.launchElementWise("relu_bwd", 2, out.Size(), []*tensor.Tensor{x, dy}, out)
 	return out
 }
@@ -180,14 +145,7 @@ func (e *Engine) ReLUBackward(x, dy *tensor.Tensor) *tensor.Tensor {
 // PReLU returns x where positive, alpha*x otherwise (scalar alpha).
 func (e *Engine) PReLU(x *tensor.Tensor, alpha float32) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i := range od {
-		if xd[i] > 0 {
-			od[i] = xd[i]
-		} else {
-			od[i] = alpha * xd[i]
-		}
-	}
+	e.be.PReLU(out.Data(), x.Data(), alpha)
 	e.launchElementWise("prelu", 1, out.Size(), []*tensor.Tensor{x}, out)
 	return out
 }
@@ -200,10 +158,7 @@ func (e *Engine) LeakyReLU(x *tensor.Tensor, slope float32) *tensor.Tensor {
 // Sigmoid returns 1/(1+exp(-x)).
 func (e *Engine) Sigmoid(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i := range od {
-		od[i] = float32(1 / (1 + math.Exp(-float64(xd[i]))))
-	}
+	e.be.Sigmoid(out.Data(), x.Data())
 	e.launchActivation("sigmoid", out.Size(), x, out)
 	return out
 }
@@ -211,10 +166,7 @@ func (e *Engine) Sigmoid(x *tensor.Tensor) *tensor.Tensor {
 // Tanh returns tanh(x).
 func (e *Engine) Tanh(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i := range od {
-		od[i] = float32(math.Tanh(float64(xd[i])))
-	}
+	e.be.Tanh(out.Data(), x.Data())
 	e.launchActivation("tanh", out.Size(), x, out)
 	return out
 }
@@ -222,10 +174,7 @@ func (e *Engine) Tanh(x *tensor.Tensor) *tensor.Tensor {
 // Exp returns exp(x).
 func (e *Engine) Exp(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
-	for i := range od {
-		od[i] = float32(math.Exp(float64(xd[i])))
-	}
+	e.be.Exp(out.Data(), x.Data())
 	e.launchActivation("exp", out.Size(), x, out)
 	return out
 }
@@ -238,14 +187,7 @@ func (e *Engine) Dropout(x *tensor.Tensor, p float32, rng *rand.Rand) (out, mask
 	}
 	out = tensor.New(x.Shape()...)
 	mask = tensor.New(x.Shape()...)
-	xd, od, md := x.Data(), out.Data(), mask.Data()
-	keep := 1 / (1 - p)
-	for i := range od {
-		if rng.Float32() >= p {
-			md[i] = 1
-			od[i] = xd[i] * keep
-		}
-	}
+	e.be.Dropout(x.Data(), out.Data(), mask.Data(), p, rng)
 	e.launchElementWise("dropout", 2, out.Size(), []*tensor.Tensor{x, mask}, out)
 	return out, mask
 }

@@ -1,16 +1,16 @@
 // Package ops implements the tensor operations of the GNNMark training
-// stack. Every operation does two things: it computes real float32 numerics
-// on the CPU (so models genuinely train), and it lowers itself to one or
-// more gpu.Kernel descriptors — instruction mix, FLOP/IOP counts, and
-// (data-dependent) memory-access streams — launched on the attached
+// stack. Every operation does three things: it validates shapes, it
+// delegates the real float32 numerics to a pluggable CPU backend
+// (internal/backend — serial or worker-pool parallel), and it lowers itself
+// to one or more gpu.Kernel descriptors — instruction mix, FLOP/IOP counts,
+// and (data-dependent) memory-access streams — launched on the attached
 // simulated device. The kernel recipes are the calibration surface of the
-// reproduction: they encode how DGL/PyTorch kernels for each operation class
-// behave on a V100.
+// reproduction: they encode how DGL/PyTorch kernels for each operation
+// class behave on a V100.
 package ops
 
 import (
-	"fmt"
-
+	"gnnmark/internal/backend"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/graph"
 	"gnnmark/internal/tensor"
@@ -18,18 +18,33 @@ import (
 
 // Engine executes tensor ops against an optional simulated device. A nil
 // device skips all kernel lowering (pure math mode, used by fast unit
-// tests). Engine is not safe for concurrent use.
+// tests). The engine itself is a thin orchestrator: numerics run on the
+// attached backend, lowering on the attached device. Engine is not safe for
+// concurrent use, though engines sharing the parallel backend may run on
+// separate goroutines (the backend's worker pool is process-wide).
 type Engine struct {
 	dev      *gpu.Device
+	be       backend.Backend
 	addrs    map[*tensor.Tensor]uint64
 	csrAddrs map[*graph.CSR][2]uint64
 	intAddrs map[*int32]uint64
 }
 
-// New returns an engine bound to dev (which may be nil).
+// New returns an engine bound to dev (which may be nil) using the default
+// serial backend.
 func New(dev *gpu.Device) *Engine {
+	return NewWith(dev, backend.Default())
+}
+
+// NewWith returns an engine bound to dev (which may be nil) computing its
+// numerics on be.
+func NewWith(dev *gpu.Device, be backend.Backend) *Engine {
+	if be == nil {
+		be = backend.Default()
+	}
 	return &Engine{
 		dev:      dev,
+		be:       be,
 		addrs:    map[*tensor.Tensor]uint64{},
 		csrAddrs: map[*graph.CSR][2]uint64{},
 		intAddrs: map[*int32]uint64{},
@@ -38,6 +53,26 @@ func New(dev *gpu.Device) *Engine {
 
 // Device returns the attached device (possibly nil).
 func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// Backend returns the numerics backend the engine computes on.
+func (e *Engine) Backend() backend.Backend { return e.be }
+
+// Release drops the engine's device-address bookkeeping for t. Call it when
+// a tensor's lifetime ends (the synthetic address space is a wrapping bump
+// allocator, so addresses themselves need no freeing — only the map entry
+// does).
+func (e *Engine) Release(t *tensor.Tensor) { delete(e.addrs, t) }
+
+// Reset clears all per-tensor, per-CSR, and per-index-buffer address
+// bookkeeping. Training loops call it between epochs so the maps track only
+// live tensors instead of every activation ever lowered; still-live tensors
+// are transparently re-assigned addresses on next use, mirroring a caching
+// allocator reissuing recycled memory.
+func (e *Engine) Reset() {
+	e.addrs = map[*tensor.Tensor]uint64{}
+	e.csrAddrs = map[*graph.CSR][2]uint64{}
+	e.intAddrs = map[*int32]uint64{}
+}
 
 // addr returns the synthetic device address of t, allocating on first use.
 func (e *Engine) addr(t *tensor.Tensor) uint64 {
@@ -128,19 +163,4 @@ func (e *Engine) CopyH2DInt(name string, idx []int32) {
 		zf = float64(zero) / float64(len(idx))
 	}
 	e.dev.CopyH2D(name, uint64(len(idx)*4), zf)
-}
-
-func shapePanic(op string, args ...*tensor.Tensor) {
-	msg := "ops: " + op + " shape mismatch:"
-	for _, a := range args {
-		msg += " " + a.String()
-	}
-	panic(msg)
-}
-
-func check2D(op string, t *tensor.Tensor) (int, int) {
-	if t.Dims() != 2 {
-		panic(fmt.Sprintf("ops: %s requires 2-D tensor, got %v", op, t.Shape()))
-	}
-	return t.Dim(0), t.Dim(1)
 }

@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"math"
-
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/tensor"
 )
@@ -19,20 +17,7 @@ func (e *Engine) GLU4D(x *tensor.Tensor) (out, gate *tensor.Tensor) {
 	c := c2 / 2
 	out = tensor.New(b, c, s, tw)
 	gate = tensor.New(b, c, s, tw)
-	plane := s * tw
-	xd, od, gd := x.Data(), out.Data(), gate.Data()
-	for bi := 0; bi < b; bi++ {
-		for ch := 0; ch < c; ch++ {
-			aBase := (bi*c2 + ch) * plane
-			gBase := (bi*c2 + c + ch) * plane
-			oBase := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				g := float32(1 / (1 + math.Exp(-float64(xd[gBase+i]))))
-				gd[oBase+i] = g
-				od[oBase+i] = xd[aBase+i] * g
-			}
-		}
-	}
+	e.be.GLU4D(x.Data(), out.Data(), gate.Data(), b, c, s*tw)
 	if e.dev != nil {
 		elem := e.fpElem()
 		n := uint64(x.Size())
@@ -68,20 +53,7 @@ func (e *Engine) GLU4DBackward(x, gate, dy *tensor.Tensor) *tensor.Tensor {
 	c := c2 / 2
 	s, tw := x.Dim(2), x.Dim(3)
 	dx := tensor.New(b, c2, s, tw)
-	plane := s * tw
-	xd, gd, dd, dxd := x.Data(), gate.Data(), dy.Data(), dx.Data()
-	for bi := 0; bi < b; bi++ {
-		for ch := 0; ch < c; ch++ {
-			aBase := (bi*c2 + ch) * plane
-			gBase := (bi*c2 + c + ch) * plane
-			oBase := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				g := gd[oBase+i]
-				dxd[aBase+i] = dd[oBase+i] * g
-				dxd[gBase+i] = dd[oBase+i] * xd[aBase+i] * g * (1 - g)
-			}
-		}
-	}
+	e.be.GLU4DBackward(x.Data(), gate.Data(), dy.Data(), dx.Data(), b, c, s*tw)
 	e.launchElementWise("glu_bwd", 3, x.Size(), []*tensor.Tensor{x, gate, dy}, dx)
 	return dx
 }
@@ -109,20 +81,9 @@ func (e *Engine) LSTMCellForward(gates, cPrev *tensor.Tensor) (h, c *tensor.Tens
 		CPrev: cPrev, CNew: tensor.New(b, hd),
 	}
 	h = tensor.New(b, hd)
-	for r := 0; r < b; r++ {
-		gr := gates.Row(r)
-		cp := cPrev.Row(r)
-		ir, fr, gr2, or := cache.I.Row(r), cache.F.Row(r), cache.G.Row(r), cache.O.Row(r)
-		cn, hr := cache.CNew.Row(r), h.Row(r)
-		for j := 0; j < hd; j++ {
-			ir[j] = sigmoid32(gr[j])
-			fr[j] = sigmoid32(gr[hd+j])
-			gr2[j] = tanh32(gr[2*hd+j])
-			or[j] = sigmoid32(gr[3*hd+j])
-			cn[j] = fr[j]*cp[j] + ir[j]*gr2[j]
-			hr[j] = or[j] * tanh32(cn[j])
-		}
-	}
+	e.be.LSTMCellForward(gates.Data(), cPrev.Data(),
+		cache.I.Data(), cache.F.Data(), cache.G.Data(), cache.O.Data(),
+		cache.CNew.Data(), h.Data(), b, hd)
 	if e.dev != nil {
 		un := uint64(gates.Size())
 		elem := e.fpElem()
@@ -161,38 +122,19 @@ func (e *Engine) LSTMCellBackward(cache *LSTMCache, dH, dC *tensor.Tensor) (dGat
 	b, hd := cache.I.Dim(0), cache.I.Dim(1)
 	dGates = tensor.New(b, 4*hd)
 	dCPrev = tensor.New(b, hd)
-	for r := 0; r < b; r++ {
-		ir, fr, gr, or := cache.I.Row(r), cache.F.Row(r), cache.G.Row(r), cache.O.Row(r)
-		cp, cn := cache.CPrev.Row(r), cache.CNew.Row(r)
-		dg := dGates.Row(r)
-		dcp := dCPrev.Row(r)
-		for j := 0; j < hd; j++ {
-			var dh, dc float32
-			if dH != nil {
-				dh = dH.Row(r)[j]
-			}
-			if dC != nil {
-				dc = dC.Row(r)[j]
-			}
-			tc := tanh32(cn[j])
-			dcTot := dc + dh*or[j]*(1-tc*tc)
-			dO := dh * tc
-			dF := dcTot * cp[j]
-			dI := dcTot * gr[j]
-			dG := dcTot * ir[j]
-			dg[j] = dI * ir[j] * (1 - ir[j])
-			dg[hd+j] = dF * fr[j] * (1 - fr[j])
-			dg[2*hd+j] = dG * (1 - gr[j]*gr[j])
-			dg[3*hd+j] = dO * or[j] * (1 - or[j])
-			dcp[j] = dcTot * fr[j]
-		}
+	var dHd, dCd []float32
+	if dH != nil {
+		dHd = dH.Data()
 	}
+	if dC != nil {
+		dCd = dC.Data()
+	}
+	e.be.LSTMCellBackward(cache.I.Data(), cache.F.Data(), cache.G.Data(), cache.O.Data(),
+		cache.CPrev.Data(), cache.CNew.Data(), dHd, dCd,
+		dGates.Data(), dCPrev.Data(), b, hd)
 	e.launchElementWise("lstm_cell_bwd", 3, dGates.Size(), []*tensor.Tensor{cache.I, cache.CNew}, dGates)
 	return dGates, dCPrev
 }
-
-func sigmoid32(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
-func tanh32(x float32) float32    { return float32(math.Tanh(float64(x))) }
 
 // BatchNorm2DForward normalizes x (B,C,S,T) per channel (cuDNN spatial
 // batch norm, operating natively on NCHW — no layout transposes). Returns
@@ -202,43 +144,11 @@ func (e *Engine) BatchNorm2DForward(x, gamma, beta *tensor.Tensor, eps float32) 
 		shapePanic("BatchNorm2DForward", x, gamma)
 	}
 	b, c, s, tw := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	plane := s * tw
-	count := float64(b * plane)
 	out = tensor.New(b, c, s, tw)
 	xhat = tensor.New(b, c, s, tw)
 	variance = tensor.New(c)
-	xd, od, hd := x.Data(), out.Data(), xhat.Data()
-	gd, bd, vd := gamma.Data(), beta.Data(), variance.Data()
-
-	for ch := 0; ch < c; ch++ {
-		var sum float64
-		for bi := 0; bi < b; bi++ {
-			base := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				sum += float64(xd[base+i])
-			}
-		}
-		mean := sum / count
-		var vs float64
-		for bi := 0; bi < b; bi++ {
-			base := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				d := float64(xd[base+i]) - mean
-				vs += d * d
-			}
-		}
-		v := vs / count
-		vd[ch] = float32(v)
-		invStd := 1 / math.Sqrt(v+float64(eps))
-		for bi := 0; bi < b; bi++ {
-			base := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				h := float32((float64(xd[base+i]) - mean) * invStd)
-				hd[base+i] = h
-				od[base+i] = gd[ch]*h + bd[ch]
-			}
-		}
-	}
+	e.be.BatchNorm2D(x.Data(), gamma.Data(), beta.Data(),
+		out.Data(), xhat.Data(), variance.Data(), b, c, s*tw, eps)
 	e.launchBatchNorm("batchnorm2d_fwd", x, out)
 	return out, xhat, variance
 }
@@ -246,34 +156,11 @@ func (e *Engine) BatchNorm2DForward(x, gamma, beta *tensor.Tensor, eps float32) 
 // BatchNorm2DBackward computes gradients of BatchNorm2DForward.
 func (e *Engine) BatchNorm2DBackward(xhat, dy, variance, gamma *tensor.Tensor, eps float32) (dx, dgamma, dbeta *tensor.Tensor) {
 	b, c, s, tw := xhat.Dim(0), xhat.Dim(1), xhat.Dim(2), xhat.Dim(3)
-	plane := s * tw
-	count := float64(b * plane)
 	dx = tensor.New(b, c, s, tw)
 	dgamma = tensor.New(c)
 	dbeta = tensor.New(c)
-	hd, dd, dxd := xhat.Data(), dy.Data(), dx.Data()
-	gd, vd := gamma.Data(), variance.Data()
-
-	for ch := 0; ch < c; ch++ {
-		var sumDy, sumDyXhat float64
-		for bi := 0; bi < b; bi++ {
-			base := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				sumDy += float64(dd[base+i])
-				sumDyXhat += float64(dd[base+i] * hd[base+i])
-			}
-		}
-		dgamma.Data()[ch] = float32(sumDyXhat)
-		dbeta.Data()[ch] = float32(sumDy)
-		invStd := 1 / math.Sqrt(float64(vd[ch]+eps))
-		for bi := 0; bi < b; bi++ {
-			base := (bi*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				dxd[base+i] = float32(float64(gd[ch]) * invStd *
-					(float64(dd[base+i]) - sumDy/count - float64(hd[base+i])*sumDyXhat/count))
-			}
-		}
-	}
+	e.be.BatchNorm2DBackward(xhat.Data(), dy.Data(), variance.Data(), gamma.Data(),
+		dx.Data(), dgamma.Data(), dbeta.Data(), b, c, s*tw, eps)
 	e.launchBatchNorm("batchnorm2d_bwd", xhat, dx)
 	return dx, dgamma, dbeta
 }

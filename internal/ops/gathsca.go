@@ -8,16 +8,6 @@ import (
 	"gnnmark/internal/tensor"
 )
 
-// rowIndexStream converts row ids into element-offset indices for the access
-// model (one entry per selected row, pointing at the row start).
-func rowIndexStream(idx []int32, f int) []int32 {
-	out := make([]int32, len(idx))
-	for i, v := range idx {
-		out[i] = v * int32(f)
-	}
-	return out
-}
-
 func checkRowIndices(op string, idx []int32, rows int) {
 	for _, v := range idx {
 		if v < 0 || int(v) >= rows {
@@ -43,27 +33,25 @@ func (e *Engine) gatherRows(name string, class gpu.OpClass, x *tensor.Tensor, id
 	n, f := check2D(name, x)
 	checkRowIndices(name, idx, n)
 	out := tensor.New(len(idx), f)
-	for i, v := range idx {
-		copy(out.Row(i), x.Row(int(v)))
-	}
+	e.be.GatherRows(x.Data(), out.Data(), idx, f)
 	if e.dev != nil {
 		elem := e.fpElem()
 		m := uint64(len(idx))
-		rowChunks := (f + 31) / 32
+		chunks := rowChunks(f)
 		e.launch(&gpu.Kernel{
 			Name:    name,
 			Class:   class,
-			Threads: len(idx) * 32 * rowChunks,
+			Threads: len(idx) * 32 * chunks,
 			Mix: gpu.InstrMix{
-				Int32:   m * uint64(4+4*rowChunks),
-				Load:    m * uint64(rowChunks+1),
-				Store:   m * uint64(rowChunks),
-				Control: m * uint64(rowChunks),
+				Int32:   m * uint64(4+4*chunks),
+				Load:    m * uint64(chunks+1),
+				Store:   m * uint64(chunks),
+				Control: m * uint64(chunks),
 			},
-			Iops: m * uint64(4+4*rowChunks),
+			Iops: m * uint64(4+4*chunks),
 			Accesses: []gpu.Access{
 				{Kind: gpu.LoadAccess, Base: e.intAddr(idx), ElemBytes: 4, Count: len(idx), Stride: 1},
-				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Indices: rowIndexStream(idx, f), Repeat: rowChunks},
+				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Indices: rowIndexStream(idx, f), Repeat: chunks},
 				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
 			},
 			CodeBytes: 1 << 10,
@@ -84,36 +72,30 @@ func (e *Engine) ScatterAddRows(dst, src *tensor.Tensor, idx []int32) *tensor.Te
 		shapePanic("ScatterAddRows", dst, src)
 	}
 	checkRowIndices("ScatterAddRows", idx, dn)
-	for i, v := range idx {
-		drow := dst.Row(int(v))
-		srow := src.Row(i)
-		for j := range drow {
-			drow[j] += srow[j]
-		}
-	}
+	e.be.ScatterAddRows(dst.Data(), src.Data(), idx, df)
 	if e.dev != nil {
 		elem := e.fpElem()
 		m := uint64(len(idx))
-		rowChunks := (sf + 31) / 32
+		chunks := rowChunks(sf)
 		e.launch(&gpu.Kernel{
 			Name:    "scatter_add",
 			Class:   gpu.OpScatter,
-			Threads: len(idx) * 32 * rowChunks,
+			Threads: len(idx) * 32 * chunks,
 			Mix: gpu.InstrMix{
 				Fp32:    m * uint64(sf),
-				Int32:   m * uint64(4+4*rowChunks),
-				Load:    m * uint64(2*rowChunks+1),
-				Store:   m * uint64(rowChunks),
-				Control: m * uint64(rowChunks),
+				Int32:   m * uint64(4+4*chunks),
+				Load:    m * uint64(2*chunks+1),
+				Store:   m * uint64(chunks),
+				Control: m * uint64(chunks),
 			},
 			Flops: m * uint64(sf),
-			Iops:  m * uint64(4+4*rowChunks),
+			Iops:  m * uint64(4+4*chunks),
 			Accesses: []gpu.Access{
 				{Kind: gpu.LoadAccess, Base: e.intAddr(idx), ElemBytes: 4, Count: len(idx), Stride: 1},
 				{Kind: gpu.LoadAccess, Base: e.addr(src), ElemBytes: elem, Count: src.Size(), Stride: 1},
 				// Atomic read-modify-write on scattered destination rows.
-				{Kind: gpu.LoadAccess, Base: e.addr(dst), ElemBytes: elem, Indices: rowIndexStream(idx, df), Repeat: rowChunks},
-				{Kind: gpu.StoreAccess, Base: e.addr(dst), ElemBytes: elem, Indices: rowIndexStream(idx, df), Repeat: rowChunks},
+				{Kind: gpu.LoadAccess, Base: e.addr(dst), ElemBytes: elem, Indices: rowIndexStream(idx, df), Repeat: chunks},
+				{Kind: gpu.StoreAccess, Base: e.addr(dst), ElemBytes: elem, Indices: rowIndexStream(idx, df), Repeat: chunks},
 			},
 			CodeBytes: 1 << 10,
 			// Atomic contention serializes colliding updates.
@@ -129,27 +111,25 @@ func (e *Engine) EmbeddingLookup(table *tensor.Tensor, ids []int32) *tensor.Tens
 	v, f := check2D("EmbeddingLookup", table)
 	checkRowIndices("EmbeddingLookup", ids, v)
 	out := tensor.New(len(ids), f)
-	for i, id := range ids {
-		copy(out.Row(i), table.Row(int(id)))
-	}
+	e.be.GatherRows(table.Data(), out.Data(), ids, f)
 	if e.dev != nil {
 		elem := e.fpElem()
 		m := uint64(len(ids))
-		rowChunks := (f + 31) / 32
+		chunks := rowChunks(f)
 		e.launch(&gpu.Kernel{
 			Name:    "embedding",
 			Class:   gpu.OpEmbedding,
-			Threads: len(ids) * 32 * rowChunks,
+			Threads: len(ids) * 32 * chunks,
 			Mix: gpu.InstrMix{
-				Int32:   m * uint64(3+4*rowChunks),
-				Load:    m * uint64(rowChunks+1),
-				Store:   m * uint64(rowChunks),
-				Control: m * uint64(rowChunks),
+				Int32:   m * uint64(3+4*chunks),
+				Load:    m * uint64(chunks+1),
+				Store:   m * uint64(chunks),
+				Control: m * uint64(chunks),
 			},
-			Iops: m * uint64(3+4*rowChunks),
+			Iops: m * uint64(3+4*chunks),
 			Accesses: []gpu.Access{
 				{Kind: gpu.LoadAccess, Base: e.intAddr(ids), ElemBytes: 4, Count: len(ids), Stride: 1},
-				{Kind: gpu.LoadAccess, Base: e.addr(table), ElemBytes: elem, Indices: rowIndexStream(ids, f), Repeat: rowChunks},
+				{Kind: gpu.LoadAccess, Base: e.addr(table), ElemBytes: elem, Indices: rowIndexStream(ids, f), Repeat: chunks},
 				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
 			},
 			CodeBytes: 1 << 10,

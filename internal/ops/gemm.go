@@ -11,17 +11,6 @@ import (
 // recipe; it sets the modeled global-memory reuse factor.
 const gemmTile = 32
 
-// clampEff bounds a throughput-efficiency estimate to [0.15, 1].
-func clampEff(e float64) float64 {
-	if e < 0.15 {
-		return 0.15
-	}
-	if e > 1 {
-		return 1
-	}
-	return e
-}
-
 // MatMul returns a @ b for a (M,K) and b (K,N).
 func (e *Engine) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 	return e.matmul(a, b, false, false)
@@ -55,51 +44,13 @@ func (e *Engine) matmul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 	}
 
 	out := tensor.New(m, n)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
 	switch {
 	case !transA && !transB:
-		for i := 0; i < m; i++ {
-			arow := ad[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
+		e.be.MatMul(a.Data(), b.Data(), out.Data(), m, n, k)
 	case transA && !transB:
-		for p := 0; p < k; p++ {
-			arow := ad[p*m : (p+1)*m]
-			brow := bd[p*n : (p+1)*n]
-			for i := 0; i < m; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := od[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
+		e.be.MatMulTA(a.Data(), b.Data(), out.Data(), m, n, k)
 	case !transA && transB:
-		for i := 0; i < m; i++ {
-			arow := ad[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
-			}
-		}
+		e.be.MatMulTB(a.Data(), b.Data(), out.Data(), m, n, k)
 	default:
 		panic("ops: MatMul with both operands transposed is not used")
 	}
@@ -166,12 +117,7 @@ func (e *Engine) AddBiasRows(x, bias *tensor.Tensor) *tensor.Tensor {
 		shapePanic("AddBiasRows", x, bias)
 	}
 	out := tensor.New(n, f)
-	xd, bd, od := x.Data(), bias.Data(), out.Data()
-	for i := 0; i < n; i++ {
-		for j := 0; j < f; j++ {
-			od[i*f+j] = xd[i*f+j] + bd[j]
-		}
-	}
+	e.be.AddBiasRows(out.Data(), x.Data(), bias.Data(), n, f)
 	e.launchElementWise("add_bias", 2, out.Size(), []*tensor.Tensor{x, bias}, out)
 	return out
 }
@@ -180,12 +126,7 @@ func (e *Engine) AddBiasRows(x, bias *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) Transpose2D(x *tensor.Tensor) *tensor.Tensor {
 	n, f := check2D("Transpose2D", x)
 	out := tensor.New(f, n)
-	xd, od := x.Data(), out.Data()
-	for i := 0; i < n; i++ {
-		for j := 0; j < f; j++ {
-			od[j*n+i] = xd[i*f+j]
-		}
-	}
+	e.be.Transpose2D(out.Data(), x.Data(), n, f)
 	if e.dev != nil {
 		elem := e.fpElem()
 		e.launch(&gpu.Kernel{

@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"math"
-
 	"gnnmark/internal/tensor"
 )
 
@@ -17,11 +15,7 @@ func (e *Engine) BCEWithLogitsForward(logits, targets *tensor.Tensor) *tensor.Te
 		shapePanic("BCEWithLogitsForward", logits, targets)
 	}
 	out := tensor.New(logits.Shape()...)
-	ld, td, od := logits.Data(), targets.Data(), out.Data()
-	for i := range od {
-		x, y := float64(ld[i]), float64(td[i])
-		od[i] = float32(math.Log1p(math.Exp(-math.Abs(x))) + math.Max(x, 0) - x*y)
-	}
+	e.be.BCEWithLogits(logits.Data(), targets.Data(), out.Data())
 	e.launchActivation("bce_with_logits", out.Size(), logits, out)
 	return out
 }
@@ -30,11 +24,7 @@ func (e *Engine) BCEWithLogitsForward(logits, targets *tensor.Tensor) *tensor.Te
 // fused (sigmoid(x) - y) * g kernel.
 func (e *Engine) BCEWithLogitsBackward(logits, targets *tensor.Tensor, g float32) *tensor.Tensor {
 	dx := tensor.New(logits.Shape()...)
-	ld, td, xd := logits.Data(), targets.Data(), dx.Data()
-	for i := range xd {
-		sig := 1 / (1 + math.Exp(-float64(ld[i])))
-		xd[i] = (float32(sig) - td[i]) * g
-	}
+	e.be.BCEWithLogitsBackward(logits.Data(), targets.Data(), dx.Data(), g)
 	e.launchElementWise("bce_with_logits_bwd", 2, dx.Size(), []*tensor.Tensor{logits, targets}, dx)
 	return dx
 }

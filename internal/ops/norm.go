@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"math"
-
 	"gnnmark/internal/tensor"
 )
 
@@ -14,30 +12,8 @@ func (e *Engine) BatchNormBackward(xhat, dy, variance, gamma *tensor.Tensor, eps
 	dx = tensor.New(n, f)
 	dgamma = tensor.New(f)
 	dbeta = tensor.New(f)
-	gd, vd := gamma.Data(), variance.Data()
-
-	sumDy := make([]float64, f)
-	sumDyXhat := make([]float64, f)
-	for i := 0; i < n; i++ {
-		dr, xr := dy.Row(i), xhat.Row(i)
-		for j := 0; j < f; j++ {
-			sumDy[j] += float64(dr[j])
-			sumDyXhat[j] += float64(dr[j] * xr[j])
-		}
-	}
-	for j := 0; j < f; j++ {
-		dgamma.Data()[j] = float32(sumDyXhat[j])
-		dbeta.Data()[j] = float32(sumDy[j])
-	}
-	invN := 1 / float64(n)
-	for i := 0; i < n; i++ {
-		dr, xr, dxr := dy.Row(i), xhat.Row(i), dx.Row(i)
-		for j := 0; j < f; j++ {
-			invStd := 1 / math.Sqrt(float64(vd[j]+eps))
-			dxr[j] = float32(float64(gd[j]) * invStd *
-				(float64(dr[j]) - invN*sumDy[j] - float64(xr[j])*invN*sumDyXhat[j]))
-		}
-	}
+	e.be.BatchNormBackward(xhat.Data(), dy.Data(), variance.Data(), gamma.Data(),
+		dx.Data(), dgamma.Data(), dbeta.Data(), n, f, eps)
 	e.launchBatchNorm("batchnorm_bwd", xhat, dx)
 	return dx, dgamma, dbeta
 }
@@ -54,29 +30,8 @@ func (e *Engine) LayerNormForward(x, gamma, beta *tensor.Tensor, eps float32) (o
 	out = tensor.New(n, f)
 	xhat = tensor.New(n, f)
 	invStd = tensor.New(n)
-	gd, bd := gamma.Data(), beta.Data()
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
-		}
-		mean /= float64(f)
-		var variance float64
-		for _, v := range row {
-			d := float64(v) - mean
-			variance += d * d
-		}
-		variance /= float64(f)
-		is := 1 / math.Sqrt(variance+float64(eps))
-		invStd.Data()[i] = float32(is)
-		xr, or := xhat.Row(i), out.Row(i)
-		for j, v := range row {
-			xh := float32((float64(v) - mean) * is)
-			xr[j] = xh
-			or[j] = gd[j]*xh + bd[j]
-		}
-	}
+	e.be.LayerNormForward(x.Data(), gamma.Data(), beta.Data(),
+		out.Data(), xhat.Data(), invStd.Data(), n, f, eps)
 	e.launchBatchNorm("layernorm_fwd", x, out)
 	return out, xhat, invStd
 }
@@ -87,24 +42,8 @@ func (e *Engine) LayerNormBackward(xhat, invStd, dy, gamma *tensor.Tensor) (dx, 
 	dx = tensor.New(n, f)
 	dgamma = tensor.New(f)
 	dbeta = tensor.New(f)
-	gd := gamma.Data()
-	for i := 0; i < n; i++ {
-		dr, xr, dxr := dy.Row(i), xhat.Row(i), dx.Row(i)
-		var sumDyG, sumDyGXhat float64
-		for j := 0; j < f; j++ {
-			dyg := float64(dr[j]) * float64(gd[j])
-			sumDyG += dyg
-			sumDyGXhat += dyg * float64(xr[j])
-			dgamma.Data()[j] += dr[j] * xr[j]
-			dbeta.Data()[j] += dr[j]
-		}
-		invF := 1 / float64(f)
-		is := float64(invStd.Data()[i])
-		for j := 0; j < f; j++ {
-			dyg := float64(dr[j]) * float64(gd[j])
-			dxr[j] = float32(is * (dyg - invF*sumDyG - float64(xr[j])*invF*sumDyGXhat))
-		}
-	}
+	e.be.LayerNormBackward(xhat.Data(), invStd.Data(), dy.Data(), gamma.Data(),
+		dx.Data(), dgamma.Data(), dbeta.Data(), n, f)
 	e.launchBatchNorm("layernorm_bwd", xhat, dx)
 	return dx, dgamma, dbeta
 }

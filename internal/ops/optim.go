@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"math"
-
 	"gnnmark/internal/tensor"
 )
 
@@ -37,19 +35,11 @@ func (e *Engine) PadColsGrad(dy *tensor.Tensor, f, from int) *tensor.Tensor {
 // nil for plain SGD), p -= lr * (momentum*buf + g + wd*p). One fused
 // element-wise kernel, as a framework optimizer would launch.
 func (e *Engine) SGDStep(p, g, buf *tensor.Tensor, lr, momentum, weightDecay float32) {
-	pd, gd := p.Data(), g.Data()
+	var bd []float32
 	if buf != nil {
-		bd := buf.Data()
-		for i := range pd {
-			upd := gd[i] + weightDecay*pd[i]
-			bd[i] = momentum*bd[i] + upd
-			pd[i] -= lr * bd[i]
-		}
-	} else {
-		for i := range pd {
-			pd[i] -= lr * (gd[i] + weightDecay*pd[i])
-		}
+		bd = buf.Data()
 	}
+	e.be.SGDStep(p.Data(), g.Data(), bd, lr, momentum, weightDecay)
 	e.launchElementWise("sgd_step", 2, p.Size(), []*tensor.Tensor{p, g}, p)
 }
 
@@ -57,15 +47,6 @@ func (e *Engine) SGDStep(p, g, buf *tensor.Tensor, lr, momentum, weightDecay flo
 // estimates m and v; step is the 1-based iteration count for bias
 // correction. One fused element-wise kernel.
 func (e *Engine) AdamStep(p, g, m, v *tensor.Tensor, lr, beta1, beta2, eps float32, step int) {
-	pd, gd, md, vd := p.Data(), g.Data(), m.Data(), v.Data()
-	bc1 := 1 - float32(math.Pow(float64(beta1), float64(step)))
-	bc2 := 1 - float32(math.Pow(float64(beta2), float64(step)))
-	for i := range pd {
-		md[i] = beta1*md[i] + (1-beta1)*gd[i]
-		vd[i] = beta2*vd[i] + (1-beta2)*gd[i]*gd[i]
-		mhat := md[i] / bc1
-		vhat := vd[i] / bc2
-		pd[i] -= lr * mhat / (float32(math.Sqrt(float64(vhat))) + eps)
-	}
+	e.be.AdamStep(p.Data(), g.Data(), m.Data(), v.Data(), lr, beta1, beta2, eps, step)
 	e.launchElementWise("adam_step", 4, p.Size(), []*tensor.Tensor{p, g, m, v}, p)
 }

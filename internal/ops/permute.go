@@ -22,31 +22,17 @@ func (e *Engine) Permute4D(x *tensor.Tensor, perm [4]int) *tensor.Tensor {
 		seen[p] = true
 	}
 	in := x.Shape()
+	inDims := [4]int{in[0], in[1], in[2], in[3]}
 	outShape := []int{in[perm[0]], in[perm[1]], in[perm[2]], in[perm[3]]}
 	out := tensor.New(outShape...)
-
-	// Input strides.
-	is := [4]int{in[1] * in[2] * in[3], in[2] * in[3], in[3], 1}
-	xd, od := x.Data(), out.Data()
-	o := 0
-	for a := 0; a < outShape[0]; a++ {
-		for b := 0; b < outShape[1]; b++ {
-			for c := 0; c < outShape[2]; c++ {
-				base := a*is[perm[0]] + b*is[perm[1]] + c*is[perm[2]]
-				sd := is[perm[3]]
-				for d := 0; d < outShape[3]; d++ {
-					od[o] = xd[base+d*sd]
-					o++
-				}
-			}
-		}
-	}
+	e.be.Permute4D(x.Data(), out.Data(), inDims, perm)
 	if e.dev != nil {
 		elem := e.fpElem()
 		n := x.Size()
 		// A tiled (shared-memory) transpose keeps both streams coalesced up
 		// to tile granularity; residual stride-2 captures partial-tile and
 		// bank-conflict overheads.
+		is := [4]int{in[1] * in[2] * in[3], in[2] * in[3], in[3], 1}
 		stride := is[perm[3]]
 		if stride < 1 {
 			stride = 1

@@ -1,0 +1,56 @@
+package ops
+
+import (
+	"fmt"
+
+	"gnnmark/internal/tensor"
+)
+
+// Shared helpers for shape validation and kernel-recipe construction, used
+// across the per-op-class files.
+
+func shapePanic(op string, args ...*tensor.Tensor) {
+	msg := "ops: " + op + " shape mismatch:"
+	for _, a := range args {
+		msg += " " + a.String()
+	}
+	panic(msg)
+}
+
+func check2D(op string, t *tensor.Tensor) (int, int) {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("ops: %s requires 2-D tensor, got %v", op, t.Shape()))
+	}
+	return t.Dim(0), t.Dim(1)
+}
+
+func sameShape(op string, a, b *tensor.Tensor) {
+	if !a.SameShape(b) {
+		shapePanic(op, a, b)
+	}
+}
+
+// clampEff bounds a throughput-efficiency estimate to [0.15, 1].
+func clampEff(e float64) float64 {
+	if e < 0.15 {
+		return 0.15
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// rowChunks is the number of 32-wide warp chunks covering a feature row of
+// width f; row-gather recipes issue one transaction group per chunk.
+func rowChunks(f int) int { return (f + 31) / 32 }
+
+// rowIndexStream converts row ids into element-offset indices for the access
+// model (one entry per selected row, pointing at the row start).
+func rowIndexStream(idx []int32, f int) []int32 {
+	out := make([]int32, len(idx))
+	for i, v := range idx {
+		out[i] = v * int32(f)
+	}
+	return out
+}

@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"math"
-
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/tensor"
 )
@@ -41,10 +39,7 @@ func (e *Engine) launchReduction(name string, n, m int, in, out *tensor.Tensor) 
 
 // SumAll returns the scalar sum of x as a (1) tensor.
 func (e *Engine) SumAll(x *tensor.Tensor) *tensor.Tensor {
-	var s float64
-	for _, v := range x.Data() {
-		s += float64(v)
-	}
+	s := e.be.SumAll(x.Data())
 	out := tensor.FromSlice([]float32{float32(s)}, 1)
 	e.launchReduction("reduce_sum_all", x.Size(), 1, x, out)
 	return out
@@ -63,13 +58,7 @@ func (e *Engine) MeanAll(x *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) SumRows(x *tensor.Tensor) *tensor.Tensor {
 	n, f := check2D("SumRows", x)
 	out := tensor.New(f)
-	od := out.Data()
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		for j := 0; j < f; j++ {
-			od[j] += row[j]
-		}
-	}
+	e.be.SumRows(x.Data(), out.Data(), n, f)
 	e.launchReduction("reduce_sum_rows", x.Size(), f, x, out)
 	return out
 }
@@ -78,15 +67,7 @@ func (e *Engine) SumRows(x *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) SumCols(x *tensor.Tensor) *tensor.Tensor {
 	n, f := check2D("SumCols", x)
 	out := tensor.New(n)
-	od := out.Data()
-	for i := 0; i < n; i++ {
-		var s float32
-		for _, v := range x.Row(i) {
-			s += v
-		}
-		od[i] = s
-	}
-	_ = f
+	e.be.SumCols(x.Data(), out.Data(), n, f)
 	e.launchReduction("reduce_sum_cols", x.Size(), n, x, out)
 	return out
 }
@@ -96,18 +77,7 @@ func (e *Engine) MaxCols(x *tensor.Tensor) (*tensor.Tensor, []int32) {
 	n, f := check2D("MaxCols", x)
 	out := tensor.New(n)
 	arg := make([]int32, n)
-	od := out.Data()
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		best, bi := row[0], 0
-		for j := 1; j < f; j++ {
-			if row[j] > best {
-				best, bi = row[j], j
-			}
-		}
-		od[i] = best
-		arg[i] = int32(bi)
-	}
+	e.be.MaxCols(x.Data(), out.Data(), arg, n, f)
 	e.launchReduction("reduce_max_cols", x.Size(), n, x, out)
 	return out, arg
 }
@@ -116,26 +86,7 @@ func (e *Engine) MaxCols(x *tensor.Tensor) (*tensor.Tensor, []int32) {
 func (e *Engine) Softmax(x *tensor.Tensor) *tensor.Tensor {
 	n, f := check2D("Softmax", x)
 	out := tensor.New(n, f)
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		orow := out.Row(i)
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for j, v := range row {
-			ev := math.Exp(float64(v - maxv))
-			orow[j] = float32(ev)
-			sum += ev
-		}
-		inv := float32(1 / sum)
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
+	e.be.Softmax(x.Data(), out.Data(), n, f)
 	e.launchSoftmax("softmax", x, out)
 	return out
 }
@@ -144,24 +95,7 @@ func (e *Engine) Softmax(x *tensor.Tensor) *tensor.Tensor {
 func (e *Engine) LogSoftmax(x *tensor.Tensor) *tensor.Tensor {
 	n, f := check2D("LogSoftmax", x)
 	out := tensor.New(n, f)
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		orow := out.Row(i)
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for _, v := range row {
-			sum += math.Exp(float64(v - maxv))
-		}
-		lse := float32(math.Log(sum)) + maxv
-		for j, v := range row {
-			orow[j] = v - lse
-		}
-	}
+	e.be.LogSoftmax(x.Data(), out.Data(), n, f)
 	e.launchSoftmax("log_softmax", x, out)
 	return out
 }
@@ -202,30 +136,7 @@ func (e *Engine) BatchNormStats(x *tensor.Tensor) (mean, variance *tensor.Tensor
 	n, f := check2D("BatchNormStats", x)
 	mean = tensor.New(f)
 	variance = tensor.New(f)
-	md, vd := mean.Data(), variance.Data()
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		for j := 0; j < f; j++ {
-			md[j] += row[j]
-		}
-	}
-	inv := float32(1)
-	if n > 0 {
-		inv = 1 / float32(n)
-	}
-	for j := 0; j < f; j++ {
-		md[j] *= inv
-	}
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		for j := 0; j < f; j++ {
-			d := row[j] - md[j]
-			vd[j] += d * d
-		}
-	}
-	for j := 0; j < f; j++ {
-		vd[j] *= inv
-	}
+	e.be.BatchNormStats(x.Data(), mean.Data(), variance.Data(), n, f)
 	e.launchBatchNorm("batchnorm_stats", x, mean)
 	return mean, variance
 }
@@ -238,18 +149,7 @@ func (e *Engine) BatchNormApply(x, mean, variance, gamma, beta *tensor.Tensor, e
 		shapePanic("BatchNormApply", x, mean)
 	}
 	out := tensor.New(n, f)
-	md, vd, gd, bd := mean.Data(), variance.Data(), gamma.Data(), beta.Data()
-	inv := make([]float32, f)
-	for j := 0; j < f; j++ {
-		inv[j] = float32(1 / math.Sqrt(float64(vd[j]+eps)))
-	}
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < f; j++ {
-			orow[j] = gd[j]*(row[j]-md[j])*inv[j] + bd[j]
-		}
-	}
+	e.be.BatchNormApply(x.Data(), mean.Data(), variance.Data(), gamma.Data(), beta.Data(), out.Data(), n, f, eps)
 	e.launchBatchNorm("batchnorm_apply", x, out)
 	return out
 }

@@ -21,28 +21,7 @@ func (e *Engine) SpMM(a *graph.CSR, x *tensor.Tensor) *tensor.Tensor {
 		panic("ops: SpMM dimension mismatch: adjacency cols != feature rows")
 	}
 	out := tensor.New(a.Rows, f)
-	xd, od := x.Data(), out.Data()
-	for dst := 0; dst < a.Rows; dst++ {
-		orow := od[dst*f : (dst+1)*f]
-		row := a.ColIdx[a.RowPtr[dst]:a.RowPtr[dst+1]]
-		var w []float32
-		if a.Vals != nil {
-			w = a.Vals[a.RowPtr[dst]:a.RowPtr[dst+1]]
-		}
-		for k, src := range row {
-			xrow := xd[int(src)*f : int(src)*f+f]
-			if w != nil {
-				wv := w[k]
-				for j := 0; j < f; j++ {
-					orow[j] += wv * xrow[j]
-				}
-			} else {
-				for j := 0; j < f; j++ {
-					orow[j] += xrow[j]
-				}
-			}
-		}
-	}
+	e.be.SpMM(a.RowPtr, a.ColIdx, a.Vals, x.Data(), out.Data(), a.Rows, f)
 	e.launchSpMM("spmm_csr", a, x, out, f)
 	return out
 }
@@ -57,7 +36,7 @@ func (e *Engine) launchSpMM(name string, a *graph.CSR, x, out *tensor.Tensor, f 
 	// Row-gather stream: one transaction group per nonzero, targeting the
 	// start of the source feature row; Repeat covers the row's F elements in
 	// 32-wide chunks.
-	rowChunks := (f + 31) / 32
+	chunks := rowChunks(f)
 	gatherIdx := make([]int32, a.NNZ())
 	for i, c := range a.ColIdx {
 		gatherIdx[i] = c * int32(f)
@@ -65,11 +44,11 @@ func (e *Engine) launchSpMM(name string, a *graph.CSR, x, out *tensor.Tensor, f 
 	e.launch(&gpu.Kernel{
 		Name:    name,
 		Class:   gpu.OpSpMM,
-		Threads: a.Rows * 32 * rowChunks,
+		Threads: a.Rows * 32 * chunks,
 		Mix: gpu.InstrMix{
 			Fp32:    nnz * uint64(f),
 			Int32:   nnz*8 + rows*4 + nnz*uint64(f),
-			Load:    nnz*2 + nnz*uint64(rowChunks),
+			Load:    nnz*2 + nnz*uint64(chunks),
 			Store:   rows * uint64(f) / 4,
 			Control: nnz * 2,
 		},
@@ -80,7 +59,7 @@ func (e *Engine) launchSpMM(name string, a *graph.CSR, x, out *tensor.Tensor, f 
 			return []gpu.Access{
 				{Kind: gpu.LoadAccess, Base: rp, ElemBytes: 4, Count: a.Rows + 1, Stride: 1},
 				{Kind: gpu.LoadAccess, Base: ci, ElemBytes: 4, Count: a.NNZ(), Stride: 1},
-				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Indices: gatherIdx, Repeat: rowChunks},
+				{Kind: gpu.LoadAccess, Base: e.addr(x), ElemBytes: elem, Indices: gatherIdx, Repeat: chunks},
 				{Kind: gpu.StoreAccess, Base: e.addr(out), ElemBytes: elem, Count: out.Size(), Stride: 1},
 			}
 		}(),
