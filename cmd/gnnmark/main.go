@@ -50,10 +50,11 @@ func main() {
 	traceOut := fs.String("trace", "", "write a chrome://tracing timeline to this file (run command)")
 	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
 	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
+	gpus := fs.Int("gpus", 1, "simulated GPU count for executed DDP training (run command; >1 trains replicas with bucketed ring-allreduce)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName}
+	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus}
 
 	switch cmd {
 	case "table1":
@@ -70,6 +71,12 @@ func main() {
 		cfg.Dataset = *dataset
 		if *traceOut != "" {
 			runWithTrace(cfg, *traceOut)
+			return
+		}
+		if cfg.GPUs > 1 {
+			res, err := core.RunDDP(cfg)
+			fail(err)
+			fmt.Print(bench.FormatStrongScaling(*workload, res))
 			return
 		}
 		r, err := core.Run(cfg)
@@ -297,5 +304,5 @@ commands:
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
-flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel`)
+flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N`)
 }

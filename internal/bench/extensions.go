@@ -145,6 +145,24 @@ func WeakScaling(workload string, cfg core.RunConfig) ([]ddp.Result, error) {
 	return nil, fmt.Errorf("bench: workload %q not in the scaling study set %v", workload, Fig9Workloads)
 }
 
+// FormatStrongScaling renders an executed strong-scaling series for one
+// workload (the `run -gpus N` view): per world size, the epoch timeline
+// split into compute and exposed/hidden communication.
+func FormatStrongScaling(workload string, results []ddp.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s executed DDP strong scaling (global batch fixed)\n", workload)
+	for _, r := range results {
+		note := ""
+		if r.Replicated {
+			note = "  [replicated: sampler not DDP-compatible]"
+		}
+		fmt.Fprintf(&b, "  %d GPU: epoch %.3f ms = compute %.3f + exposed comm %.3f (%.3f hidden, %d buckets)  speedup %.2fx%s\n",
+			r.GPUs, 1e3*r.EpochSeconds, 1e3*r.ComputeSeconds,
+			1e3*r.ExposedCommSeconds, 1e3*r.OverlappedCommSeconds, r.Buckets, r.Speedup, note)
+	}
+	return b.String()
+}
+
 // FormatWeakScaling renders a weak-scaling result series.
 func FormatWeakScaling(workload string, results []ddp.Result) string {
 	var b strings.Builder

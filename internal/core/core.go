@@ -10,6 +10,7 @@ import (
 
 	"gnnmark/internal/backend"
 	"gnnmark/internal/datasets"
+	"gnnmark/internal/ddp"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
@@ -163,8 +164,13 @@ type RunConfig struct {
 	// GPU selects the device preset: "v100" (default, the paper's GPU),
 	// "p100", or "a100" for cross-generation sensitivity studies.
 	GPU string
-	// BatchDivisor shards the per-iteration batch (used by DDP studies).
+	// BatchDivisor shards the per-iteration batch (used by the analytical
+	// DDP estimate).
 	BatchDivisor int
+	// GPUs selects executed multi-GPU DDP training (RunDDP): the number of
+	// simulated devices, each training a replica on its batch shard with
+	// bucketed ring-allreduce gradient averaging. 0 or 1 = single device.
+	GPUs int
 	// Backend selects the CPU numerics backend: "serial" (default) or
 	// "parallel". Both produce bitwise-identical results; parallel tiles
 	// large kernels across a worker pool to speed up simulation wall-clock.
@@ -270,6 +276,47 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// RunDDP trains cfg.Workload with the executed DDP engine at world sizes
+// 1, 2, 4, ... up to cfg.GPUs (always including cfg.GPUs itself) and
+// returns the per-world-size timeline with speedups against the 1-GPU run.
+func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
+	cfg.defaults()
+	spec, err := Lookup(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = spec.Datasets[0]
+	}
+	be, err := backend.New(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	devCfg, err := gpu.Preset(cfg.GPU)
+	if err != nil {
+		return nil, err
+	}
+	devCfg.MaxSampledWarps = cfg.SampledWarps
+	devCfg.HalfPrecision = cfg.HalfPrecision
+	devCfg.BypassL1 = cfg.BypassL1
+
+	factory := func(rank, world int) (models.Workload, *models.Env) {
+		dev := gpu.New(devCfg)
+		env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
+		env.Rank, env.World = rank, world
+		return spec.Build(env, dataset, 1), env
+	}
+	worlds := []int{1}
+	for g := 2; g < cfg.GPUs; g *= 2 {
+		worlds = append(worlds, g)
+	}
+	if cfg.GPUs > 1 {
+		worlds = append(worlds, cfg.GPUs)
+	}
+	return ddp.ExecutedStrongScaling(factory, worlds, ddp.ClusterConfig{})
 }
 
 // SuiteRun pairs a workload key with a dataset for suite-wide sweeps.

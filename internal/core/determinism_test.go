@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gnnmark/internal/gpu"
+)
+
+// suiteDigest flattens the profile outputs PR 1's bitwise-equivalence
+// guarantee covers — losses, per-class kernel times, and instruction
+// counts — into an exact string (%x floats, no rounding).
+func suiteDigest(results []RunResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s/%s losses=[", r.Workload, r.Dataset)
+		for _, l := range r.Losses {
+			fmt.Fprintf(&b, "%x ", l)
+		}
+		fmt.Fprintf(&b, "] kernels=%d sec=%x launch=%x\n",
+			r.Report.Kernels, r.Report.KernelSeconds, r.Report.LaunchSeconds)
+		for _, c := range gpu.AllOpClasses() {
+			cs, ok := r.PerClass[c]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-12s sec=%x launch=%x kernels=%d instr=%d flops=%d iops=%d\n",
+				c, cs.Seconds, cs.LaunchSeconds, cs.Kernels, cs.Mix.Total(), cs.Flops, cs.Iops)
+		}
+	}
+	return b.String()
+}
+
+// TestSuiteGoldenDeterminism runs a short full-suite characterization twice
+// under the serial backend and once under the parallel backend, and demands
+// identical digests: the suite-level pin of the numerics-backend bitwise
+// equivalence that the backend package property-tests at the unit level.
+func TestSuiteGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism run is slow")
+	}
+	run := func(backendName string) string {
+		res, err := RunSuite(RunConfig{Epochs: 1, Seed: 7, SampledWarps: 256, Backend: backendName})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return suiteDigest(res)
+	}
+	first := run("serial")
+	if again := run("serial"); again != first {
+		t.Fatalf("serial suite digest not reproducible:\n%s", firstDiff(first, again))
+	}
+	if par := run("parallel"); par != first {
+		t.Fatalf("parallel backend digest differs from serial:\n%s", firstDiff(first, par))
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,536 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+)
+
+// This file is the executed replication engine: instead of timing one shard
+// and adding a closed-form allreduce term (ddp.go, kept for comparison), a
+// Cluster really trains G replicas of the workload on G simulated devices —
+// one goroutine each — and really averages their gradients through a
+// bucketed ring-allreduce, so the multi-GPU result is a trained model whose
+// weights can be checked against a single-device run.
+//
+// Per iteration, each replica trains its rank's batch shard (models.Env.Shard)
+// and its backward pass ends in the Env.OnGradients hook, where the replica
+// flattens its gradients into size-capped buckets (PyTorch Reducer-style,
+// filled in reverse parameter order) and enters a lockstep barrier. The last
+// arriver reduces every bucket across replicas in a fixed ring association
+// order, writes the fp32 averages back into all replicas' gradient tensors,
+// and advances the communication timeline: each bucket's ring transfer is
+// overlapped against the remaining backward compute, so only the part that
+// outlives the backward pass (plus the reducer hook overhead) is exposed on
+// the critical path. Everything downstream of the hook — gradient clipping
+// and the optimizer step — then runs on identical gradients, keeping the
+// replicas' weights bitwise in sync, exactly like DistributedDataParallel.
+
+// DefaultBucketCapBytes is the reducer bucket size cap. PyTorch defaults to
+// 25 MB; our workloads are scaled down ~100x in parameter count, so the cap
+// scales down with them to preserve realistic multi-bucket pipelining.
+const DefaultBucketCapBytes = 256 << 10
+
+// ClusterConfig parameterizes an executed DDP run.
+type ClusterConfig struct {
+	// Comm is the interconnect model (zero value = DefaultComm()).
+	Comm CommConfig
+	// BucketCapBytes caps reducer buckets (0 = DefaultBucketCapBytes).
+	BucketCapBytes int
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Comm == (CommConfig{}) {
+		c.Comm = DefaultComm()
+	}
+	if c.BucketCapBytes == 0 {
+		c.BucketCapBytes = DefaultBucketCapBytes
+	}
+}
+
+// ReplicaFactory builds replica `rank` of a `world`-replica cluster: a fresh
+// workload on a fresh device/engine, constructed from the same seed at every
+// rank, with env.Rank/env.World set to the given values *before* the
+// workload is built (batch sharding can happen at construction time). Every
+// call must return fully independent instances.
+type ReplicaFactory func(rank, world int) (models.Workload, *models.Env)
+
+// ClusterResult is the outcome of one executed multi-replica run.
+type ClusterResult struct {
+	GPUs       int
+	Replicated bool // DDP-incompatible sampler: full batch on every replica
+	Iterations int  // optimizer steps per epoch
+	Buckets    int  // reducer buckets per iteration
+	// GradBytesPerIt is the fp32 gradient payload all-reduced per iteration.
+	GradBytesPerIt uint64
+	// EpochSeconds is the modeled wall time per epoch: per-iteration
+	// max-replica compute plus exposed (non-overlapped) communication.
+	EpochSeconds []float64
+	// TotalSeconds sums EpochSeconds.
+	TotalSeconds float64
+	// ComputeSeconds is the critical-path compute across all epochs
+	// (max over replicas, per iteration).
+	ComputeSeconds float64
+	// CommSeconds is total communication busy time (ring transfers, hop
+	// latencies, reducer hook; plus replicated-input H2D contention).
+	CommSeconds float64
+	// ExposedCommSeconds is the part of CommSeconds not hidden under
+	// backward compute; OverlappedCommSeconds is the hidden remainder.
+	ExposedCommSeconds    float64
+	OverlappedCommSeconds float64
+	// Losses is the per-epoch mean loss averaged over replicas.
+	Losses []float64
+	// Replicas exposes the trained workloads (index = rank) so callers can
+	// verify weight equivalence against single-device training.
+	Replicas []models.Workload
+}
+
+// Cluster executes DDP training with one goroutine per simulated GPU.
+type Cluster struct {
+	world int
+	cfg   ClusterConfig
+}
+
+// NewCluster returns a cluster of `world` replicas (world >= 1).
+func NewCluster(world int, cfg ClusterConfig) *Cluster {
+	if world < 1 {
+		panic(fmt.Sprintf("ddp: invalid world size %d", world))
+	}
+	cfg.defaults()
+	return &Cluster{world: world, cfg: cfg}
+}
+
+// replica is the per-goroutine state of one simulated GPU.
+type replica struct {
+	rank    int
+	w       models.Workload
+	env     *models.Env
+	buckets []nn.GradBucket
+	flat    [][]float32 // per-bucket flattened local gradients
+	// lastClock is the device clock at the previous gradient sync, so the
+	// hook can attribute compute time per iteration.
+	lastClock float64
+	// lastTransfer tracks TransferSeconds for replicated-input accounting.
+	lastTransfer float64
+	epochLosses  []float64
+}
+
+func (r *replica) clock() float64 {
+	if dev := r.env.E.Device(); dev != nil {
+		return dev.ElapsedSeconds()
+	}
+	return 0
+}
+
+func (r *replica) transfer() float64 {
+	if dev := r.env.E.Device(); dev != nil {
+		return dev.TransferSeconds()
+	}
+	return 0
+}
+
+// clusterAbort unwinds a replica goroutine after another replica failed.
+type clusterAbort struct{ err error }
+
+// run is the shared lockstep state; its mutex orders every cross-replica
+// access (gradient buffers included), which is what makes the leader's
+// writes into blocked replicas' tensors race-free.
+type run struct {
+	c    *Cluster
+	reps []*replica
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+	err     error
+
+	// Per-iteration data, indexed by rank, valid when the barrier is full.
+	backward []float64
+	compute  []float64
+
+	// Accumulators (leader-written).
+	iters        int
+	epochCompute float64 // current epoch, critical-path compute
+	totalCompute float64
+	commBusy     float64
+	exposed      float64
+	epochExposed float64
+	epochSeconds []float64
+	losses       []float64
+	scratch      []float32 // reduce buffer, sized to largest bucket
+}
+
+// barrier blocks until all replicas arrive; the last arriver runs leader()
+// under the lock before releasing the others. Returns the first recorded
+// error (and leader is skipped once a replica has failed).
+func (st *run) barrier(leader func()) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil {
+		return st.err
+	}
+	st.arrived++
+	if st.arrived == len(st.reps) {
+		leader()
+		st.arrived = 0
+		st.gen++
+		st.cond.Broadcast()
+		return st.err
+	}
+	gen := st.gen
+	for st.gen == gen && st.err == nil {
+		st.cond.Wait()
+	}
+	return st.err
+}
+
+func (st *run) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Run trains `epochs` epochs of `world` replicas built by factory and
+// returns the executed timeline and the trained replicas. With world == 1 it
+// degenerates to plain single-device training (no hooks, no barriers) —
+// the baseline the speedup claims divide by.
+func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	w0, env0 := factory(0, c.world)
+	replicated := false
+	if c.world > 1 && !w0.DDPCompatible() {
+		// The sampler cannot shard (paper §V-E, PSAGE): rebuild every
+		// replica with the full batch. Gradients still synchronize — all
+		// cost, no compute reduction.
+		replicated = true
+		w0, env0 = factory(0, 1)
+	}
+
+	reps := make([]*replica, c.world)
+	newRep := func(rank int, w models.Workload, env *models.Env) *replica {
+		rep := &replica{rank: rank, w: w, env: env}
+		rep.buckets = nn.BuildGradBuckets(w.Params(), c.cfg.BucketCapBytes)
+		rep.flat = make([][]float32, len(rep.buckets))
+		for i, b := range rep.buckets {
+			rep.flat[i] = make([]float32, b.Elems)
+		}
+		return rep
+	}
+	reps[0] = newRep(0, w0, env0)
+	for r := 1; r < c.world; r++ {
+		var w models.Workload
+		var env *models.Env
+		if replicated {
+			w, env = factory(r, 1)
+		} else {
+			w, env = factory(r, c.world)
+		}
+		reps[r] = newRep(r, w, env)
+	}
+	for r := 1; r < c.world; r++ {
+		if got, want := reps[r].w.IterationsPerEpoch(), reps[0].w.IterationsPerEpoch(); got != want {
+			return ClusterResult{}, fmt.Errorf("ddp: replica %d has %d iterations/epoch, rank 0 has %d (factory not seed-identical?)", r, got, want)
+		}
+		if got, want := len(reps[r].buckets), len(reps[0].buckets); got != want {
+			return ClusterResult{}, fmt.Errorf("ddp: replica %d has %d buckets, rank 0 has %d", r, got, want)
+		}
+	}
+
+	st := &run{
+		c:        c,
+		reps:     reps,
+		backward: make([]float64, c.world),
+		compute:  make([]float64, c.world),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	maxElems := 0
+	for _, b := range reps[0].buckets {
+		if b.Elems > maxElems {
+			maxElems = b.Elems
+		}
+	}
+	st.scratch = make([]float32, maxElems)
+
+	if c.world == 1 {
+		return c.runSingle(reps[0], epochs), nil
+	}
+
+	var wg sync.WaitGroup
+	for _, rep := range reps {
+		rep := rep
+		if dev := rep.env.E.Device(); dev != nil {
+			// Construction may launch preprocessing kernels; measure
+			// training only.
+			dev.ResetClock()
+		}
+		rep.env.OnGradients = func(params []*autograd.Param, backwardSecs float64) {
+			for i := range rep.buckets {
+				rep.buckets[i].FlattenGrads(rep.flat[i])
+			}
+			now := rep.clock()
+			st.mu.Lock()
+			st.backward[rep.rank] = backwardSecs
+			st.compute[rep.rank] = now - rep.lastClock
+			st.mu.Unlock()
+			rep.lastClock = now
+			if err := st.barrier(func() { st.reduceIteration(replicated) }); err != nil {
+				panic(clusterAbort{err})
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(clusterAbort); ok {
+						return
+					}
+					st.fail(fmt.Errorf("ddp: replica %d panicked: %v", rep.rank, r))
+				}
+			}()
+			for e := 0; e < epochs; e++ {
+				loss := rep.w.TrainEpoch()
+				rep.epochLosses = append(rep.epochLosses, loss)
+				if err := st.barrier(func() { st.finishEpoch(replicated) }); err != nil {
+					return
+				}
+				rep.env.E.Reset()
+			}
+		}()
+	}
+	wg.Wait()
+	if st.err != nil {
+		return ClusterResult{}, st.err
+	}
+
+	res := ClusterResult{
+		GPUs:               c.world,
+		Replicated:         replicated,
+		Iterations:         reps[0].w.IterationsPerEpoch(),
+		Buckets:            len(reps[0].buckets),
+		GradBytesPerIt:     uint64(nn.ParamBytes(reps[0].w.Params())),
+		EpochSeconds:       st.epochSeconds,
+		ComputeSeconds:     st.totalCompute,
+		CommSeconds:        st.commBusy,
+		ExposedCommSeconds: st.exposed,
+		Losses:             st.losses,
+	}
+	res.OverlappedCommSeconds = res.CommSeconds - res.ExposedCommSeconds
+	if res.OverlappedCommSeconds < 0 {
+		// Accumulation rounding can leave a ~1e-19 negative remainder.
+		res.OverlappedCommSeconds = 0
+	}
+	for _, s := range res.EpochSeconds {
+		res.TotalSeconds += s
+	}
+	for _, rep := range reps {
+		res.Replicas = append(res.Replicas, rep.w)
+	}
+	return res, nil
+}
+
+// runSingle is the world == 1 fast path.
+func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
+	dev := rep.env.E.Device()
+	if dev != nil {
+		dev.ResetClock()
+	}
+	res := ClusterResult{
+		GPUs:           1,
+		Iterations:     rep.w.IterationsPerEpoch(),
+		Buckets:        len(rep.buckets),
+		GradBytesPerIt: uint64(nn.ParamBytes(rep.w.Params())),
+		Replicas:       []models.Workload{rep.w},
+	}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		res.Losses = append(res.Losses, rep.w.TrainEpoch())
+		now := rep.clock()
+		res.EpochSeconds = append(res.EpochSeconds, now-last)
+		last = now
+		rep.env.E.Reset()
+	}
+	res.ComputeSeconds = last
+	res.TotalSeconds = last
+	return res
+}
+
+// reduceIteration is the leader's work once every replica has flattened its
+// gradients and entered the barrier: average every bucket across replicas
+// with a fixed-association ring reduction, write the averages back into all
+// replicas' gradient tensors, and advance the overlap timeline.
+func (st *run) reduceIteration(replicated bool) {
+	reps := st.reps
+	world := len(reps)
+	buckets := reps[0].buckets
+
+	// Compute timeline inputs.
+	maxBackward, maxCompute := 0.0, 0.0
+	for r := 0; r < world; r++ {
+		if st.backward[r] > maxBackward {
+			maxBackward = st.backward[r]
+		}
+		if st.compute[r] > maxCompute {
+			maxCompute = st.compute[r]
+		}
+	}
+	totalBytes := 0
+	for _, b := range buckets {
+		totalBytes += b.Bytes()
+	}
+
+	cfg := st.c.cfg.Comm
+	bw := cfg.NVLinkBandwidthGBps * 1e9
+	commBusy, finish, cum := 0.0, 0.0, 0
+
+	for bi := range buckets {
+		n := buckets[bi].Elems
+		avg := st.scratch[:n]
+		ringReduce(avg, bi, world, func(r int) []float32 { return reps[r].flat[bi] })
+		inv := float32(1) / float32(world)
+		for i := range avg {
+			avg[i] *= inv
+		}
+		for r := 0; r < world; r++ {
+			reps[r].buckets[bi].UnflattenGrads(avg)
+		}
+
+		// Overlap timeline: bucket bi becomes ready when the backward pass
+		// has produced its share of the gradient bytes (buckets fill in
+		// reverse parameter order, tracking backward progress); its ring
+		// allreduce of 2(G-1) steps, each moving bytes/G, then queues on
+		// the serial NVLink channel behind the previous bucket.
+		cum += buckets[bi].Bytes()
+		ready := maxBackward * float64(cum) / float64(totalBytes)
+		g := float64(world)
+		t := 2 * (g - 1) * (float64(buckets[bi].Bytes())/g/bw + cfg.NVLinkLatencyUS*1e-6)
+		start := ready
+		if finish > start {
+			start = finish
+		}
+		finish = start + t
+		commBusy += t
+	}
+
+	hook := cfg.HookOverheadUS * 1e-6
+	exposed := finish - maxBackward
+	if exposed < 0 {
+		exposed = 0
+	}
+	exposed += hook
+	commBusy += hook
+
+	st.iters++
+	st.epochCompute += maxCompute
+	st.commBusy += commBusy
+	st.exposed += exposed
+	st.epochExposed += exposed
+	_ = replicated
+}
+
+// ringReduce fills dst with the element-wise sum of every rank's buffer,
+// accumulating in the ring's chunk-rotation order: chunk c's reduce-scatter
+// starts at rank (c+1) % world, so the association order is a pure function
+// of (bucket, chunk, world) — identical no matter which goroutine leads,
+// which is what keeps repeated runs byte-identical.
+func ringReduce(dst []float32, bucket, world int, flat func(rank int) []float32) {
+	n := len(dst)
+	chunk := (n + world - 1) / world
+	for c := 0; c < world; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		first := (bucket + c + 1) % world
+		src := flat(first)[lo:hi]
+		copy(dst[lo:hi], src)
+		for s := 1; s < world; s++ {
+			src := flat((first + s) % world)[lo:hi]
+			d := dst[lo:hi]
+			for i := range d {
+				d[i] += src[i]
+			}
+		}
+	}
+}
+
+// finishEpoch is the leader's work at the epoch barrier: fold in the tail
+// compute after the last gradient sync (optimizer steps of the final
+// iteration) and, for replicated inputs, the host-link contention of every
+// replica pulling the same batches (the paper's PSAGE "unnecessary
+// communication").
+func (st *run) finishEpoch(replicated bool) {
+	tail, contention, loss := 0.0, 0.0, 0.0
+	for _, rep := range st.reps {
+		now := rep.clock()
+		if d := now - rep.lastClock; d > tail {
+			tail = d
+		}
+		rep.lastClock = now
+		tr := rep.transfer()
+		if d := tr - rep.lastTransfer; d > contention {
+			contention = d
+		}
+		rep.lastTransfer = tr
+		loss += rep.epochLosses[len(rep.epochLosses)-1]
+	}
+	st.epochCompute += tail
+	if replicated {
+		extra := float64(len(st.reps)-1) * contention
+		st.commBusy += extra
+		st.exposed += extra
+		st.epochExposed += extra
+	}
+	st.epochSeconds = append(st.epochSeconds, st.epochCompute+st.epochExposed)
+	st.totalCompute += st.epochCompute
+	st.losses = append(st.losses, loss/float64(len(st.reps)))
+	st.epochCompute, st.epochExposed = 0, 0
+}
+
+// ExecutedStrongScaling runs the executed cluster at each world size (the
+// global batch fixed, shards shrinking) and reports the modeled epoch
+// timeline per size, with speedups relative to the 1-GPU run.
+func ExecutedStrongScaling(factory ReplicaFactory, gpuCounts []int, cfg ClusterConfig) ([]Result, error) {
+	results := make([]Result, 0, len(gpuCounts))
+	var base float64
+	for _, g := range gpuCounts {
+		cr, err := NewCluster(g, cfg).Run(factory, 1)
+		if err != nil {
+			return nil, err
+		}
+		r := Result{
+			GPUs:                  cr.GPUs,
+			EpochSeconds:          cr.TotalSeconds,
+			ComputeSeconds:        cr.ComputeSeconds,
+			CommSeconds:           cr.CommSeconds,
+			ExposedCommSeconds:    cr.ExposedCommSeconds,
+			OverlappedCommSeconds: cr.OverlappedCommSeconds,
+			Replicated:            cr.Replicated,
+			Iterations:            cr.Iterations,
+			Buckets:               cr.Buckets,
+			GradBytesPerIt:        cr.GradBytesPerIt,
+			Executed:              true,
+		}
+		if g == 1 {
+			base = r.EpochSeconds
+		}
+		if base > 0 {
+			r.Speedup = base / r.EpochSeconds
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

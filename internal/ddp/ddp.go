@@ -52,7 +52,10 @@ func DefaultComm() CommConfig {
 // instance: the simulator measures devices in isolation.
 type WorkloadFactory func(batchDivisor int) (models.Workload, *gpu.Device)
 
-// Result is the simulated outcome for one world size.
+// Result is the simulated outcome for one world size. The analytical
+// estimators (StrongScaling/WeakScaling) fill the first block; the executed
+// engine (ExecutedStrongScaling) additionally reports the overlap split and
+// sets Executed.
 type Result struct {
 	GPUs           int
 	EpochSeconds   float64
@@ -62,6 +65,12 @@ type Result struct {
 	Replicated     bool    // data was replicated (DDP-incompatible sampler)
 	Iterations     int
 	GradBytesPerIt uint64
+
+	// Executed-engine extras (zero for analytical results).
+	Executed              bool
+	Buckets               int     // reducer buckets per iteration
+	ExposedCommSeconds    float64 // comm left on the critical path
+	OverlappedCommSeconds float64 // comm hidden under backward compute
 }
 
 // allreduceSeconds returns the per-iteration gradient synchronization cost.

@@ -1,0 +1,58 @@
+package gpu
+
+import "testing"
+
+func TestOpClassNames(t *testing.T) {
+	want := map[OpClass]string{
+		OpGEMM:        "GEMM",
+		OpSpMM:        "SpMM",
+		OpConv:        "Conv",
+		OpScatter:     "Scatter",
+		OpGather:      "Gather",
+		OpReduction:   "Reduction",
+		OpIndexSelect: "IndexSelect",
+		OpSort:        "Sort",
+		OpElementWise: "ElementWise",
+		OpBatchNorm:   "BatchNorm",
+		OpEmbedding:   "Embedding",
+		OpTransfer:    "Transfer",
+		OpComm:        "Comm",
+		OpOther:       "Other",
+	}
+	if len(want) != NumOpClasses {
+		t.Fatalf("test covers %d classes, taxonomy has %d", len(want), NumOpClasses)
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	// Out-of-range values format without panicking.
+	if got := OpClass(200).String(); got != "OpClass(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestAllOpClassesCoversTaxonomyInOrder(t *testing.T) {
+	all := AllOpClasses()
+	if len(all) != NumOpClasses {
+		t.Fatalf("AllOpClasses returned %d, want %d", len(all), NumOpClasses)
+	}
+	for i, c := range all {
+		if int(c) != i {
+			t.Fatalf("AllOpClasses()[%d] = %v, want display order", i, c)
+		}
+	}
+}
+
+func TestIsGraphOp(t *testing.T) {
+	graph := map[OpClass]bool{
+		OpScatter: true, OpGather: true, OpReduction: true,
+		OpIndexSelect: true, OpSort: true,
+	}
+	for _, c := range AllOpClasses() {
+		if c.IsGraphOp() != graph[c] {
+			t.Errorf("%v.IsGraphOp() = %v, want %v", c, c.IsGraphOp(), graph[c])
+		}
+	}
+}

@@ -92,10 +92,11 @@ func NewDGCN(env *Env, ds *datasets.MoleculeSet, cfg DGCNConfig) *DGCN {
 func (m *DGCN) prepareBatches() {
 	// Batches are scheduled over the global batch size; under DDP each
 	// device materializes only its shard of every global batch, keeping the
-	// iteration count constant (strong scaling).
+	// iteration count constant (strong scaling). The analytical path shards
+	// via BatchDivisor (shardBatch), the executed path via Env.Shard.
 	n := len(m.ds.Graphs)
-	for start := 0; start < n; start += m.globalBatch {
-		end := min(start+m.shardBatch, n)
+	for gstart := 0; gstart < n; gstart += m.globalBatch {
+		start, end := m.env.Shard(gstart, min(gstart+m.shardBatch, n))
 		gs := m.ds.Graphs[start:end]
 		b := graph.NewBatch(gs)
 		norm := b.Adj.NormalizeGCN()

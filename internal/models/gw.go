@@ -132,6 +132,8 @@ func (m *GW) TrainEpoch() float64 {
 		e := m.env.E
 		start := it * m.globalBatch
 		end := min(start+m.shardBatch, len(m.ds.Examples))
+		// Executed DDP further splits the batch across replica ranks.
+		start, end = m.env.Shard(start, end)
 		bsz := end - start
 
 		t := autograd.NewTape(e)

@@ -116,8 +116,9 @@ func NewKGNN(env *Env, ds *datasets.MoleculeSet, cfg KGNNConfig) *KGNN {
 // implementation, so it is done once here, not per epoch.
 func (m *KGNN) prepareBatches() {
 	n := len(m.ds.Graphs)
-	for start := 0; start < n; start += m.globalBatch {
-		end := min(start+m.shardBatch, n)
+	for gstart := 0; gstart < n; gstart += m.globalBatch {
+		// Analytical DDP shards via BatchDivisor, executed DDP via Env.Shard.
+		start, end := m.env.Shard(gstart, min(gstart+m.shardBatch, n))
 		gs := m.ds.Graphs[start:end]
 		bb := graph.NewBatch(gs)
 		norm := bb.Adj.NormalizeGCN()

@@ -35,6 +35,17 @@ type Env struct {
 	// future-work inference-characterization mode, using the trained (or
 	// initialized) models to drive inference studies.
 	Training bool
+	// Rank and World identify this replica under executed data-parallel
+	// training (ddp.Cluster). World <= 1 means single-device: Shard is the
+	// identity and OnGradients never fires from the cluster. Models built
+	// from the same seed at any rank are otherwise identical.
+	Rank, World int
+	// OnGradients, when non-nil, is invoked by Step after the backward pass
+	// and before gradient clipping and the optimizer step — exactly where
+	// PyTorch's DDP reducer hook sits. backwardSeconds is the simulated
+	// device time the backward pass took (0 without a device). The hook may
+	// mutate the parameters' gradients in place (gradient averaging).
+	OnGradients func(params []*autograd.Param, backwardSeconds float64)
 }
 
 // NewEnv builds an Env with a fresh seeded RNG, in training mode.
@@ -57,11 +68,56 @@ func (env *Env) Step(t *autograd.Tape, loss *autograd.Var, params []*autograd.Pa
 		return
 	}
 	nn.ZeroGrads(params)
+	before := env.clock()
 	t.Backward(loss)
+	if env.OnGradients != nil {
+		env.OnGradients(params, env.clock()-before)
+	}
 	if clipNorm > 0 {
 		nn.ClipGradNorm(params, clipNorm)
 	}
 	opt.Step()
+}
+
+// clock returns the attached device's simulated elapsed seconds (0 when the
+// engine runs deviceless).
+func (env *Env) clock() float64 {
+	if env.E == nil {
+		return 0
+	}
+	dev := env.E.Device()
+	if dev == nil {
+		return 0
+	}
+	return dev.ElapsedSeconds()
+}
+
+// Shard returns this replica's contiguous sub-range of the half-open global
+// batch range [lo, hi). Ranges split into World near-equal chunks (sizes
+// differ by at most one, earlier ranks get the extra item — the same layout
+// as torch's DistributedSampler over a contiguous permutation). When the
+// range holds fewer items than World, trailing ranks wrap to the first item
+// (DistributedSampler-style padding) so every replica still issues a
+// non-empty iteration and the lockstep allreduce never starves. With
+// World <= 1 it is the identity.
+func (env *Env) Shard(lo, hi int) (int, int) {
+	if env.World <= 1 || hi-lo <= 0 {
+		return lo, hi
+	}
+	n, w, r := hi-lo, env.World, env.Rank
+	if n < w {
+		if r < n {
+			return lo + r, lo + r + 1
+		}
+		return lo, lo + 1
+	}
+	base, rem := n/w, n%w
+	start := lo + r*base + min(r, rem)
+	size := base
+	if r < rem {
+		size++
+	}
+	return start, start + size
 }
 
 // Workload is the uniform interface of all eight models.

@@ -173,10 +173,14 @@ func (m *STGCN) TrainEpoch() float64 {
 		m.env.iter()
 		e := m.env.E
 
-		x := tensor.New(m.batchSize, 1, sensors, m.window)
-		y := tensor.New(m.batchSize, sensors)
-		for bi := 0; bi < m.batchSize; bi++ {
-			start := m.starts[it*m.batchSize+bi]
+		// Executed DDP splits each global batch of window starts across
+		// replica ranks; single-device runs see [it*B, (it+1)*B) unchanged.
+		lo, hi := m.env.Shard(it*m.batchSize, (it+1)*m.batchSize)
+		bsz := hi - lo
+		x := tensor.New(bsz, 1, sensors, m.window)
+		y := tensor.New(bsz, sensors)
+		for bi := 0; bi < bsz; bi++ {
+			start := m.starts[lo+bi]
 			for si := 0; si < sensors; si++ {
 				for ti := 0; ti < m.window; ti++ {
 					x.Set(m.ds.Series.At(start+ti, si), bi, 0, si, ti)
@@ -197,7 +201,7 @@ func (m *STGCN) TrainEpoch() float64 {
 		}
 		h = m.outT.Forward(t, h)  // (B, ch, S, 1)
 		h = m.outFC.Forward(t, h) // (B, 1, S, 1)
-		pred := t.Reshape(h, m.batchSize, sensors)
+		pred := t.Reshape(h, bsz, sensors)
 		loss := t.MSE(pred, y)
 
 		m.env.Step(t, loss, m.Params(), m.opt, 0)

@@ -229,6 +229,8 @@ func (m *TLSTM) TrainEpoch() float64 {
 		m.env.iter()
 		start := it * m.globalBatch
 		end := min(start+m.shardBatch, len(m.ds.Trees))
+		// Executed DDP further splits the batch across replica ranks.
+		start, end = m.env.Shard(start, end)
 		t, logits, labels := m.forward(start, end)
 		loss := t.CrossEntropy(logits, labels)
 		m.env.Step(t, loss, m.Params(), m.opt, 5)
@@ -249,6 +251,7 @@ func (m *TLSTM) Evaluate() float64 {
 	for it := 0; it < iters; it++ {
 		start := it * m.globalBatch
 		end := min(start+m.shardBatch, len(m.ds.Trees))
+		start, end = m.env.Shard(start, end)
 		_, logits, labels := m.forward(start, end)
 		_, arg := m.env.E.MaxCols(logits.Value)
 		for i, lab := range labels {

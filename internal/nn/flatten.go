@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+
+	"gnnmark/internal/autograd"
+)
+
+// GradBucket is one DDP reducer bucket: a run of parameters whose gradients
+// are flattened into a single contiguous fp32 buffer and all-reduced
+// together. Buckets are filled in reverse parameter order (PyTorch's
+// Reducer heuristic: gradients become ready roughly in reverse registration
+// order during backward, so the last parameters' bucket fills first and can
+// start communicating while earlier layers are still backpropagating).
+type GradBucket struct {
+	// Params are the bucket members in flattening order.
+	Params []*autograd.Param
+	// Elems is the total float32 element count across members.
+	Elems int
+}
+
+// Bytes returns the bucket's fp32 payload size.
+func (b *GradBucket) Bytes() int { return 4 * b.Elems }
+
+// FlattenGrads copies the members' gradients into dst (len >= Elems) in
+// flattening order and returns the filled prefix.
+func (b *GradBucket) FlattenGrads(dst []float32) []float32 {
+	if len(dst) < b.Elems {
+		panic(fmt.Sprintf("nn: FlattenGrads dst %d < bucket elems %d", len(dst), b.Elems))
+	}
+	off := 0
+	for _, p := range b.Params {
+		off += copy(dst[off:], p.Grad.Data())
+	}
+	return dst[:off]
+}
+
+// UnflattenGrads copies src (len >= Elems) back into the members' gradient
+// tensors, the inverse of FlattenGrads.
+func (b *GradBucket) UnflattenGrads(src []float32) {
+	if len(src) < b.Elems {
+		panic(fmt.Sprintf("nn: UnflattenGrads src %d < bucket elems %d", len(src), b.Elems))
+	}
+	off := 0
+	for _, p := range b.Params {
+		off += copy(p.Grad.Data(), src[off:])
+	}
+}
+
+// BuildGradBuckets partitions params into size-capped buckets, walking the
+// parameter list in reverse order (see GradBucket). A parameter larger than
+// capBytes gets a bucket of its own; capBytes <= 0 yields a single bucket.
+// The assignment is a pure function of the parameter order, so replicas
+// built from the same seed produce identical bucket layouts — that
+// determinism is what lets DDP all-reduce flattened buffers positionally.
+// Panics on nil or duplicate parameters: both would make the positional
+// correspondence between replicas ill-defined.
+func BuildGradBuckets(params []*autograd.Param, capBytes int) []GradBucket {
+	seen := make(map[*autograd.Param]bool, len(params))
+	for i, p := range params {
+		if p == nil {
+			panic(fmt.Sprintf("nn: BuildGradBuckets: nil param at index %d", i))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("nn: BuildGradBuckets: duplicate param %q at index %d", p.Name, i))
+		}
+		seen[p] = true
+	}
+	var buckets []GradBucket
+	var cur GradBucket
+	for i := len(params) - 1; i >= 0; i-- {
+		p := params[i]
+		sz := p.Value.Size()
+		if capBytes > 0 && cur.Elems > 0 && 4*(cur.Elems+sz) > capBytes {
+			buckets = append(buckets, cur)
+			cur = GradBucket{}
+		}
+		cur.Params = append(cur.Params, p)
+		cur.Elems += sz
+	}
+	if cur.Elems > 0 {
+		buckets = append(buckets, cur)
+	}
+	return buckets
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"testing"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/tensor"
+)
+
+func namedParam(name string, vals ...float32) *autograd.Param {
+	p := autograd.NewParam(name, tensor.FromSlice(vals, len(vals)))
+	for i, v := range vals {
+		p.Grad.Data()[i] = v * 10
+	}
+	return p
+}
+
+func TestBuildGradBucketsReverseOrderAndCap(t *testing.T) {
+	a := namedParam("a", 1, 2)       // 8 bytes
+	b := namedParam("b", 3, 4, 5)    // 12 bytes
+	c := namedParam("c", 6)          // 4 bytes
+	d := namedParam("d", 7, 8, 9, 0) // 16 bytes
+	params := []*autograd.Param{a, b, c, d}
+
+	// Cap 20 bytes: walking d,c,b,a -> bucket0 = {d,c} (20B), bucket1 = {b,a}.
+	buckets := BuildGradBuckets(params, 20)
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(buckets))
+	}
+	if got := buckets[0].Params; len(got) != 2 || got[0] != d || got[1] != c {
+		t.Fatalf("bucket0 = %v, want [d c]", names(got))
+	}
+	if got := buckets[1].Params; len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("bucket1 = %v, want [b a]", names(got))
+	}
+	if buckets[0].Bytes() != 20 || buckets[1].Bytes() != 20 {
+		t.Fatalf("bucket bytes = %d,%d want 20,20", buckets[0].Bytes(), buckets[1].Bytes())
+	}
+
+	// Total coverage: every param appears exactly once.
+	total := 0
+	for _, bk := range buckets {
+		total += bk.Elems
+	}
+	if want := 2 + 3 + 1 + 4; total != want {
+		t.Fatalf("total elems %d, want %d", total, want)
+	}
+}
+
+func TestBuildGradBucketsSingleBucketAndOversized(t *testing.T) {
+	a := namedParam("a", 1, 2)
+	big := namedParam("big", make([]float32, 16)...)
+	if n := len(BuildGradBuckets([]*autograd.Param{a, big}, 0)); n != 1 {
+		t.Fatalf("capBytes<=0: got %d buckets, want 1", n)
+	}
+	// big (64B) alone exceeds the 8B cap: it must still get a bucket.
+	buckets := BuildGradBuckets([]*autograd.Param{a, big}, 8)
+	if len(buckets) != 2 || buckets[0].Params[0] != big || len(buckets[0].Params) != 1 {
+		t.Fatalf("oversized param not isolated: %+v", buckets)
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	a := namedParam("a", 1, 2)
+	b := namedParam("b", 3, 4, 5)
+	bk := BuildGradBuckets([]*autograd.Param{a, b}, 0)[0]
+
+	flat := make([]float32, bk.Elems)
+	got := bk.FlattenGrads(flat)
+	// Reverse order: b's grads then a's.
+	want := []float32{30, 40, 50, 10, 20}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("flat[%d] = %v, want %v (%v)", i, got[i], v, got)
+		}
+	}
+	for i := range flat {
+		flat[i] = -float32(i)
+	}
+	bk.UnflattenGrads(flat)
+	if a.Grad.Data()[0] != -3 || a.Grad.Data()[1] != -4 {
+		t.Fatalf("a grads after unflatten: %v", a.Grad.Data())
+	}
+	if b.Grad.Data()[0] != 0 || b.Grad.Data()[2] != -2 {
+		t.Fatalf("b grads after unflatten: %v", b.Grad.Data())
+	}
+}
+
+func TestBuildGradBucketsRejectsDuplicates(t *testing.T) {
+	a := namedParam("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate param")
+		}
+	}()
+	BuildGradBuckets([]*autograd.Param{a, a}, 0)
+}
+
+func names(ps []*autograd.Param) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
