@@ -2,7 +2,7 @@
 // workload's training epoch: the tool used to calibrate the kernel recipes
 // against the paper's figures, kept for model debugging.
 //
-// Usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|ARGA|TLSTM>
+// Usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: gnnmark-trace <workload>")
+		fmt.Fprintln(os.Stderr, "usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>")
 		os.Exit(2)
 	}
 	cfg := gpu.V100()
@@ -42,6 +42,8 @@ func main() {
 		w = models.NewGW(env, datasets.AGENDA(env.RNG), models.GWConfig{})
 	case "KGNNL":
 		w = models.NewKGNN(env, datasets.Proteins(env.RNG), models.KGNNConfig{K: 2})
+	case "KGNNH":
+		w = models.NewKGNN(env, datasets.Proteins(env.RNG), models.KGNNConfig{K: 3})
 	case "ARGA":
 		w = models.NewARGA(env, datasets.NewCitation(env.RNG, "cora"), models.ARGAConfig{})
 	case "DGCN":

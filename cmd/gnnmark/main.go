@@ -11,7 +11,9 @@
 //	gnnmark ablate-fp16 [flags]
 //
 // Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
-// is faster), -workload KEY, -dataset NAME.
+// is faster), -workload KEY, -dataset NAME; `run` additionally takes
+// -metrics-out FILE (host metrics JSON) and -host-trace FILE (merged
+// host+device chrome://tracing timeline).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"gnnmark/internal/core"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
+	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/report"
 	"gnnmark/internal/trace"
@@ -48,6 +51,8 @@ func main() {
 	sweepKey := fs.String("sweep", "DGCN/layers", "sweep key: WORKLOAD/param (sweep command)")
 	sweepVals := fs.String("values", "4,14,28", "comma-separated sweep values")
 	traceOut := fs.String("trace", "", "write a chrome://tracing timeline to this file (run command)")
+	metricsOut := fs.String("metrics-out", "", "write the host-observability metrics snapshot (JSON) to this file (run command)")
+	hostTrace := fs.String("host-trace", "", "write a merged host+device chrome://tracing timeline to this file (run command)")
 	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
 	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
 	gpus := fs.Int("gpus", 1, "simulated GPU count for executed DDP training (run command; >1 trains replicas with bucketed ring-allreduce)")
@@ -55,6 +60,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus}
+	if *metricsOut != "" || *hostTrace != "" {
+		obs.Enable()
+	}
 
 	switch cmd {
 	case "table1":
@@ -73,17 +81,34 @@ func main() {
 			runWithTrace(cfg, *traceOut)
 			return
 		}
+		var rec *trace.Recorder
+		if *hostTrace != "" && cfg.GPUs <= 1 {
+			// Attach a device recorder before any kernels launch so the
+			// merged timeline carries both planes; under DDP (many devices)
+			// only the host plane is written.
+			cfg.OnDevice = func(dev *gpu.Device) { rec = trace.Attach(dev, 0) }
+		}
 		if cfg.GPUs > 1 {
 			res, err := core.RunDDP(cfg)
 			fail(err)
 			fmt.Print(bench.FormatStrongScaling(*workload, res))
+			for _, r := range res {
+				for i, hp := range r.HostPhases {
+					fmt.Printf("obs %d-gpu epoch %d: %s\n", r.GPUs, i+1, hp)
+				}
+			}
+			writeObsOutputs(*metricsOut, *hostTrace, nil)
 			return
 		}
 		r, err := core.Run(cfg)
 		fail(err)
 		fmt.Printf("%s on %s: %d params, losses %v\n", r.Workload, r.Dataset, r.ParamCount, r.Losses)
 		fmt.Printf("epoch seconds (simulated): %v\n", r.EpochSeconds)
+		for i, hp := range r.HostPhases {
+			fmt.Printf("obs epoch %d: %s\n", i+1, hp)
+		}
 		fmt.Print(r.Report.String())
+		writeObsOutputs(*metricsOut, *hostTrace, rec)
 	case "all":
 		fmt.Print(bench.Table1())
 		fmt.Println()
@@ -224,6 +249,36 @@ func runWithTrace(cfg core.RunConfig, path string) {
 		spec.Key, rec.Len(), path)
 }
 
+// writeObsOutputs writes the host-observability artifacts requested on the
+// command line: the metrics JSON snapshot and the merged host+device
+// Chrome trace (host spans as a second process beside the device rows).
+func writeObsOutputs(metricsPath, tracePath string, rec *trace.Recorder) {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		fail(err)
+		fail(obs.WriteMetricsJSON(f))
+		fail(f.Close())
+		fmt.Println("wrote host metrics to", metricsPath)
+	}
+	if tracePath != "" {
+		events := trace.HostEvents()
+		dropped := 0
+		if rec != nil {
+			events = append(rec.TimelineEvents(), events...)
+			dropped = rec.Dropped()
+		}
+		f, err := os.Create(tracePath)
+		fail(err)
+		fail(trace.WriteEvents(f, events))
+		fail(f.Close())
+		fmt.Printf("wrote %d merged host+device trace events to %s (open in chrome://tracing)\n",
+			len(events), tracePath)
+		if dropped > 0 {
+			fmt.Printf("note: %d device events dropped at the recorder limit\n", dropped)
+		}
+	}
+}
+
 func labelOf(sr core.SuiteRun) string {
 	if sr.Workload == "PSAGE" {
 		return sr.Workload + "(" + sr.Dataset + ")"
@@ -304,5 +359,6 @@ commands:
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
-flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N`)
+flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N
+       -trace FILE  -metrics-out FILE  -host-trace FILE  (run: device trace / host metrics JSON / merged host+device trace)`)
 }

@@ -3,7 +3,31 @@ package backend
 import (
 	"runtime"
 	"sync"
+
+	"gnnmark/internal/obs"
 )
+
+// Host-observability handles for the worker pool: per-task wall time, the
+// task and dispatch counts, and the serial fallbacks taken by kernels too
+// small to amortize a dispatch. Recording no-ops until obs.Enable.
+var (
+	obsTaskNanos       = obs.GetHistogram("backend.task_nanos", obs.DurationBuckets())
+	obsTasksTotal      = obs.GetCounter("backend.tasks_total")
+	obsDispatchesTotal = obs.GetCounter("backend.dispatches_total")
+	obsInlineRunsTotal = obs.GetCounter("backend.inline_runs_total")
+)
+
+// runTask executes one chunk, timing it when observability is on.
+func runTask(f func(lo, hi int), lo, hi int) {
+	if !obs.Enabled() {
+		f(lo, hi)
+		return
+	}
+	start := obs.Nanos()
+	f(lo, hi)
+	obsTaskNanos.Observe(obs.Nanos() - start)
+	obsTasksTotal.Inc()
+}
 
 // The parallel backend dispatches onto one process-wide worker pool:
 // workers are started lazily on first use, sized to runtime.GOMAXPROCS, and
@@ -29,7 +53,7 @@ func startPool() {
 	for i := 0; i < poolSize; i++ {
 		go func() {
 			for t := range poolTasks {
-				t.f(t.lo, t.hi)
+				runTask(t.f, t.lo, t.hi)
 				t.wg.Done()
 			}
 		}()
@@ -56,9 +80,11 @@ func parallelFor(n int, f func(lo, hi int)) {
 		chunks = n
 	}
 	if chunks <= 1 {
+		obsInlineRunsTotal.Inc()
 		f(0, n)
 		return
 	}
+	obsDispatchesTotal.Inc()
 	size := (n + chunks - 1) / chunks
 	var wg sync.WaitGroup
 	lo := 0
@@ -67,6 +93,6 @@ func parallelFor(n int, f func(lo, hi int)) {
 		poolTasks <- poolTask{f: f, lo: lo, hi: lo + size, wg: &wg}
 		lo += size
 	}
-	f(lo, n)
+	runTask(f, lo, n)
 	wg.Wait()
 }

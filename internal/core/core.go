@@ -14,6 +14,7 @@ import (
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
+	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/profiler"
 )
@@ -175,6 +176,10 @@ type RunConfig struct {
 	// "parallel". Both produce bitwise-identical results; parallel tiles
 	// large kernels across a worker pool to speed up simulation wall-clock.
 	Backend string
+	// OnDevice, when non-nil, is invoked with each simulated device right
+	// after construction — the hook the CLI uses to attach a trace.Recorder
+	// before any kernels launch.
+	OnDevice func(*gpu.Device)
 }
 
 func (c *RunConfig) defaults() {
@@ -207,6 +212,9 @@ type RunResult struct {
 	ParamCount int
 	// PerClass carries the per-op-class stats for Figures 5/6 per-op views.
 	PerClass map[gpu.OpClass]profiler.ClassStats
+	// HostPhases is the per-epoch host wall-clock phase breakdown; empty
+	// unless obs.Enabled during the run.
+	HostPhases []obs.PhaseBreakdown
 }
 
 // Run executes one characterization run: build device + profiler + model,
@@ -244,6 +252,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	dev := gpu.New(devCfg)
+	if cfg.OnDevice != nil {
+		cfg.OnDevice(dev)
+	}
 	prof := profiler.Attach(dev)
 	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 	env.OnIteration = prof.NextIteration
@@ -253,14 +264,26 @@ func Run(cfg RunConfig) (RunResult, error) {
 	// Construction may launch preprocessing kernels; measure training only.
 	prof.Reset()
 	dev.ResetClock()
+	if obs.Enabled() {
+		obs.Reset()
+	}
 
 	res := RunResult{
 		Workload:   spec.Key,
 		Dataset:    dataset,
 		ParamCount: nn.NumParams(w.Params()),
 	}
+	lastCap := obs.CapturePhases()
 	for ep := 0; ep < cfg.Epochs; ep++ {
+		epochScope := env.E.Track().Begin("epoch", obs.CatPhase)
 		res.Losses = append(res.Losses, w.TrainEpoch())
+		env.FinishPhase()
+		epochScope.End()
+		if obs.Enabled() {
+			cap1 := obs.CapturePhases()
+			res.HostPhases = append(res.HostPhases, lastCap.Delta(cap1))
+			lastCap = cap1
+		}
 		prof.MarkEpoch()
 		// Drop dead per-tensor address bookkeeping between epochs so the
 		// engine's maps track live tensors, not every activation ever seen.

@@ -7,6 +7,20 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
+	"gnnmark/internal/obs"
+)
+
+// Host-observability handles for the executed DDP engine. Recording
+// no-ops until obs.Enable.
+var (
+	// obsBucketExposedNanos is the per-bucket exposed (non-overlapped)
+	// communication time on the modeled timeline, in nanoseconds.
+	obsBucketExposedNanos = obs.GetHistogram("ddp.bucket_exposed_nanos", obs.DurationBuckets())
+	// obsReduceHostNanos is the leader's real host wall time per
+	// reduce-iteration (ring reduction + write-back across replicas).
+	obsReduceHostNanos = obs.GetHistogram("ddp.reduce_host_nanos", obs.DurationBuckets())
+	obsIterationsTotal = obs.GetCounter("ddp.iterations_total")
+	obsAllreduceBytes  = obs.GetCounter("ddp.allreduce_bytes_total")
 )
 
 // This file is the executed replication engine: instead of timing one shard
@@ -83,6 +97,9 @@ type ClusterResult struct {
 	OverlappedCommSeconds float64
 	// Losses is the per-epoch mean loss averaged over replicas.
 	Losses []float64
+	// HostPhases is the per-epoch host wall-clock phase breakdown (mean
+	// per replica); empty unless obs.Enabled at run time.
+	HostPhases []obs.PhaseBreakdown
 	// Replicas exposes the trained workloads (index = rank) so callers can
 	// verify weight equivalence against single-device training.
 	Replicas []models.Workload
@@ -162,6 +179,11 @@ type run struct {
 	epochSeconds []float64
 	losses       []float64
 	scratch      []float32 // reduce buffer, sized to largest bucket
+
+	// Host observability (leader-written under mu).
+	track      *obs.Track // spans of the leader's reduction work
+	lastCap    obs.PhaseCapture
+	hostPhases []obs.PhaseBreakdown
 }
 
 // barrier blocks until all replicas arrive; the last arriver runs leader()
@@ -252,6 +274,7 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		compute:  make([]float64, c.world),
 	}
 	st.cond = sync.NewCond(&st.mu)
+	st.track = obs.NewTrack("ddp-reduce")
 	maxElems := 0
 	for _, b := range reps[0].buckets {
 		if b.Elems > maxElems {
@@ -264,6 +287,9 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		return c.runSingle(reps[0], epochs), nil
 	}
 
+	if obs.Enabled() {
+		st.lastCap = obs.CapturePhases()
+	}
 	var wg sync.WaitGroup
 	for _, rep := range reps {
 		rep := rep
@@ -299,6 +325,7 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 			}()
 			for e := 0; e < epochs; e++ {
 				loss := rep.w.TrainEpoch()
+				rep.env.FinishPhase()
 				rep.epochLosses = append(rep.epochLosses, loss)
 				if err := st.barrier(func() { st.finishEpoch(replicated) }); err != nil {
 					return
@@ -323,6 +350,7 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		CommSeconds:        st.commBusy,
 		ExposedCommSeconds: st.exposed,
 		Losses:             st.losses,
+		HostPhases:         st.hostPhases,
 	}
 	res.OverlappedCommSeconds = res.CommSeconds - res.ExposedCommSeconds
 	if res.OverlappedCommSeconds < 0 {
@@ -351,9 +379,19 @@ func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
 		GradBytesPerIt: uint64(nn.ParamBytes(rep.w.Params())),
 		Replicas:       []models.Workload{rep.w},
 	}
+	var cap0 obs.PhaseCapture
+	if obs.Enabled() {
+		cap0 = obs.CapturePhases()
+	}
 	last := 0.0
 	for e := 0; e < epochs; e++ {
 		res.Losses = append(res.Losses, rep.w.TrainEpoch())
+		rep.env.FinishPhase()
+		if obs.Enabled() {
+			cap1 := obs.CapturePhases()
+			res.HostPhases = append(res.HostPhases, cap0.Delta(cap1))
+			cap0 = cap1
+		}
 		now := rep.clock()
 		res.EpochSeconds = append(res.EpochSeconds, now-last)
 		last = now
@@ -372,6 +410,10 @@ func (st *run) reduceIteration(replicated bool) {
 	reps := st.reps
 	world := len(reps)
 	buckets := reps[0].buckets
+	var hostStart int64
+	if st.track != nil {
+		hostStart = obs.Nanos()
+	}
 
 	// Compute timeline inputs.
 	maxBackward, maxCompute := 0.0, 0.0
@@ -417,7 +459,18 @@ func (st *run) reduceIteration(replicated bool) {
 		if finish > start {
 			start = finish
 		}
+		expBefore := finish - maxBackward
+		if expBefore < 0 {
+			expBefore = 0
+		}
 		finish = start + t
+		expAfter := finish - maxBackward
+		if expAfter < 0 {
+			expAfter = 0
+		}
+		// This bucket's contribution to exposed (non-overlapped) comm on
+		// the modeled timeline.
+		obsBucketExposedNanos.Observe(int64((expAfter - expBefore) * 1e9))
 		commBusy += t
 	}
 
@@ -434,6 +487,13 @@ func (st *run) reduceIteration(replicated bool) {
 	st.commBusy += commBusy
 	st.exposed += exposed
 	st.epochExposed += exposed
+	obsIterationsTotal.Inc()
+	obsAllreduceBytes.Add(int64(totalBytes))
+	if st.track != nil {
+		now := obs.Nanos()
+		st.track.Record("reduce_iteration", "comm", hostStart, now-hostStart)
+		obsReduceHostNanos.Observe(now - hostStart)
+	}
 	_ = replicated
 }
 
@@ -498,6 +558,13 @@ func (st *run) finishEpoch(replicated bool) {
 	st.totalCompute += st.epochCompute
 	st.losses = append(st.losses, loss/float64(len(st.reps)))
 	st.epochCompute, st.epochExposed = 0, 0
+	if obs.Enabled() {
+		// Phase counters aggregated over all replicas this epoch; report
+		// the mean per replica against the epoch's wall interval.
+		cap1 := obs.CapturePhases()
+		st.hostPhases = append(st.hostPhases, st.lastCap.Delta(cap1).Scale(len(st.reps)))
+		st.lastCap = cap1
+	}
 }
 
 // ExecutedStrongScaling runs the executed cluster at each world size (the
@@ -523,6 +590,7 @@ func ExecutedStrongScaling(factory ReplicaFactory, gpuCounts []int, cfg ClusterC
 			Buckets:               cr.Buckets,
 			GradBytesPerIt:        cr.GradBytesPerIt,
 			Executed:              true,
+			HostPhases:            cr.HostPhases,
 		}
 		if g == 1 {
 			base = r.EpochSeconds

@@ -24,6 +24,7 @@ import (
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
+	"gnnmark/internal/obs"
 )
 
 // CommConfig parameterizes the interconnect and framework overhead.
@@ -71,6 +72,9 @@ type Result struct {
 	Buckets               int     // reducer buckets per iteration
 	ExposedCommSeconds    float64 // comm left on the critical path
 	OverlappedCommSeconds float64 // comm hidden under backward compute
+	// HostPhases is the per-epoch host wall-clock phase breakdown (mean
+	// per replica); populated only when obs.Enabled during the run.
+	HostPhases []obs.PhaseBreakdown
 }
 
 // allreduceSeconds returns the per-iteration gradient synchronization cost.

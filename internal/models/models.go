@@ -18,7 +18,20 @@ import (
 
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/nn"
+	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
+)
+
+// Phase counters: total host nanoseconds per training phase, accumulated
+// across iterations (and, under DDP, across replicas). Recording no-ops
+// until obs.Enable.
+var (
+	phaseDataC      = obs.PhaseCounter(obs.PhaseDataLoad)
+	phaseForwardC   = obs.PhaseCounter(obs.PhaseForward)
+	phaseBackwardC  = obs.PhaseCounter(obs.PhaseBackward)
+	phaseOptimizerC = obs.PhaseCounter(obs.PhaseOptimizer)
+	phaseAllreduceC = obs.PhaseCounter(obs.PhaseAllreduce)
+	iterationsC     = obs.GetCounter("phase.iterations_total")
 )
 
 // Env bundles what a workload needs to run: the op engine (device-attached
@@ -46,6 +59,12 @@ type Env struct {
 	// device time the backward pass took (0 without a device). The hook may
 	// mutate the parameters' gradients in place (gradient averaging).
 	OnGradients func(params []*autograd.Param, backwardSeconds float64)
+
+	// Host-phase accounting (internal/obs): the currently open phase's
+	// counter, its start stamp, and its span scope on the engine's track.
+	phaseCtr   *obs.Counter
+	phaseStart int64
+	phaseScope obs.Scope
 }
 
 // NewEnv builds an Env with a fresh seeded RNG, in training mode.
@@ -57,6 +76,40 @@ func (env *Env) iter() {
 	if env.OnIteration != nil {
 		env.OnIteration()
 	}
+	// The open phase here is the data_load tail begun at the previous
+	// Step (batch selection between iterations); forward work starts now.
+	iterationsC.Inc()
+	env.beginPhase(obs.PhaseForward, phaseForwardC)
+}
+
+// beginPhase closes the open phase (if any) and opens the named one:
+// its wall time accrues to ctr and a span nests on the engine's track.
+// A single atomic load when observability is disabled.
+func (env *Env) beginPhase(name string, ctr *obs.Counter) {
+	if !obs.Enabled() {
+		return
+	}
+	env.FinishPhase()
+	env.phaseCtr = ctr
+	env.phaseStart = obs.Nanos()
+	if env.E != nil {
+		env.E.MarkHostBoundary()
+		env.phaseScope = env.E.Track().Begin(name, obs.CatPhase)
+	}
+}
+
+// FinishPhase closes the currently open host phase, crediting its wall
+// time. Training loops (core.Run, ddp.Cluster) call it at epoch
+// boundaries to close the trailing data_load window; it is a no-op when
+// no phase is open.
+func (env *Env) FinishPhase() {
+	if env.phaseCtr == nil {
+		return
+	}
+	env.phaseCtr.Add(obs.Nanos() - env.phaseStart)
+	env.phaseScope.End()
+	env.phaseCtr = nil
+	env.phaseScope = obs.Scope{}
 }
 
 // Step finishes one iteration: in training mode it zeroes gradients,
@@ -65,18 +118,30 @@ func (env *Env) iter() {
 // no-op, so the device trace contains only the forward pass.
 func (env *Env) Step(t *autograd.Tape, loss *autograd.Var, params []*autograd.Param, opt nn.Optimizer, clipNorm float32) {
 	if !env.Training {
+		// Forward-only mode: the iteration ends here; time until the next
+		// iter() is batch selection.
+		env.beginPhase(obs.PhaseDataLoad, phaseDataC)
 		return
 	}
 	nn.ZeroGrads(params)
+	env.beginPhase(obs.PhaseBackward, phaseBackwardC)
 	before := env.clock()
 	t.Backward(loss)
 	if env.OnGradients != nil {
+		// Under ddp.Cluster the hook flattens gradients, waits at the
+		// lockstep barrier, and receives the averaged buckets — the host
+		// analogue of the allreduce.
+		env.beginPhase(obs.PhaseAllreduce, phaseAllreduceC)
 		env.OnGradients(params, env.clock()-before)
 	}
+	env.beginPhase(obs.PhaseOptimizer, phaseOptimizerC)
 	if clipNorm > 0 {
 		nn.ClipGradNorm(params, clipNorm)
 	}
 	opt.Step()
+	// Until the next iter() the host is selecting/assembling the next
+	// batch (or closing the epoch).
+	env.beginPhase(obs.PhaseDataLoad, phaseDataC)
 }
 
 // clock returns the attached device's simulated elapsed seconds (0 when the

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, shaped for
+// JSON export. Entries are sorted by name so exports are deterministic.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's state. Counts has one entry per
+// bound plus a final overflow bucket; entries are non-cumulative.
+type HistogramSnapshot struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot copies the registry's current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, n := range sortedNames(r.counters) {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: n, Value: r.counters[n].v.Load()})
+	}
+	for _, n := range sortedNames(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: n, Value: r.gauges[n].v.Load()})
+	}
+	for _, n := range sortedNames(r.histograms) {
+		h := r.histograms[n]
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:   n,
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: h.BucketCounts(),
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the registry's metrics as an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("obs: encoding metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteMetricsJSON writes the default registry's metrics as JSON.
+func WriteMetricsJSON(w io.Writer) error { return defaultRegistry.WriteJSON(w) }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func exportTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ops.kernels_total").Add(42)
+	r.Gauge("tensor.live_bytes").Set(1024)
+	h := r.Histogram("backend.task_nanos", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	return r
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTestRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Name != "ops.kernels_total" || s.Counters[0].Value != 42 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 1024 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 3 || hs.Sum != 555 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("counts/bounds mismatch: %d vs %d", len(hs.Counts), len(hs.Bounds))
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ops_kernels_total counter
+ops_kernels_total 42
+# TYPE tensor_live_bytes gauge
+tensor_live_bytes 1024
+# TYPE backend_task_nanos histogram
+backend_task_nanos_bucket{le="10"} 1
+backend_task_nanos_bucket{le="100"} 2
+backend_task_nanos_bucket{le="+Inf"} 3
+backend_task_nanos_sum 555
+backend_task_nanos_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ops.kernels_total": "ops_kernels_total",
+		"9lead":             "_lead",
+		"a-b c":             "a_b_c",
+		"x:y9":              "x:y9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPhaseBreakdownCoverageAndString(t *testing.T) {
+	b := PhaseBreakdown{
+		WallNanos: 1_000_000,
+		DataLoad:  100_000,
+		Forward:   400_000,
+		Backward:  300_000,
+		Optimizer: 150_000,
+	}
+	if c := b.Coverage(); c < 0.949 || c > 0.951 {
+		t.Fatalf("coverage = %v, want 0.95", c)
+	}
+	s := b.String()
+	if s == "" || !bytes.Contains([]byte(s), []byte("coverage 95.0%")) {
+		t.Fatalf("String() = %q", s)
+	}
+	if bytes.Contains([]byte(s), []byte("allreduce")) {
+		t.Fatalf("allreduce rendered with zero time: %q", s)
+	}
+	scaled := b.Scale(2)
+	if scaled.Forward != 200_000 || scaled.WallNanos != 1_000_000 {
+		t.Fatalf("Scale: %+v", scaled)
+	}
+}

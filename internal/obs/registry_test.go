@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+
+	// Underflow (negative and below first bound) lands in bucket 0; bounds
+	// are inclusive upper limits; above the last bound is the overflow.
+	for _, v := range []int64{-5, 0, 10} {
+		h.Observe(v)
+	}
+	h.Observe(11)   // bucket 1
+	h.Observe(100)  // bucket 1 (inclusive)
+	h.Observe(999)  // bucket 2
+	h.Observe(1001) // overflow
+	h.Observe(1 << 40)
+
+	got := h.BucketCounts()
+	want := []int64{3, 2, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	if wantSum := int64(-5 + 0 + 10 + 11 + 100 + 999 + 1001 + 1<<40); h.Sum() != wantSum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", []int64{10, 10})
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", DurationBuckets())
+	g := r.Gauge("g")
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.SetMax(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax lowered the watermark: %d", g.Value())
+	}
+	g.SetMax(25)
+	if g.Value() != 25 {
+		t.Fatalf("SetMax did not raise: %d", g.Value())
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1})
+	r.on.Store(false)
+	c.Add(7)
+	g.Set(7)
+	g.SetMax(7)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	// Handles created before disable keep working after re-enable.
+	r.on.Store(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestResetKeepsHandlesValid(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []int64{1, 2})
+	c.Add(3)
+	h.Observe(1)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left values: c=%d h=%d", c.Value(), h.Count())
+	}
+	c.Inc()
+	h.Observe(2)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Fatalf("handles dead after reset: c=%d h=%d", c.Value(), h.Count())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter() returned a new handle after reset")
+	}
+}

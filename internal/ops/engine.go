@@ -13,6 +13,7 @@ import (
 	"gnnmark/internal/backend"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/graph"
+	"gnnmark/internal/obs"
 	"gnnmark/internal/tensor"
 )
 
@@ -28,6 +29,14 @@ type Engine struct {
 	addrs    map[*tensor.Tensor]uint64
 	csrAddrs map[*graph.CSR][2]uint64
 	intAddrs map[*int32]uint64
+
+	// Host observability (internal/obs). track is nil unless obs was
+	// enabled when the engine was built; opMark is the host-clock cursor
+	// per-op spans are attributed from; obsBytes is this engine's
+	// contribution to the tensor.live_bytes gauge.
+	track    *obs.Track
+	opMark   int64
+	obsBytes int64
 }
 
 // New returns an engine bound to dev (which may be nil) using the default
@@ -48,6 +57,8 @@ func NewWith(dev *gpu.Device, be backend.Backend) *Engine {
 		addrs:    map[*tensor.Tensor]uint64{},
 		csrAddrs: map[*graph.CSR][2]uint64{},
 		intAddrs: map[*int32]uint64{},
+		track:    obs.NewTrack("engine"),
+		opMark:   obs.Nanos(),
 	}
 }
 
@@ -61,7 +72,12 @@ func (e *Engine) Backend() backend.Backend { return e.be }
 // a tensor's lifetime ends (the synthetic address space is a wrapping bump
 // allocator, so addresses themselves need no freeing — only the map entry
 // does).
-func (e *Engine) Release(t *tensor.Tensor) { delete(e.addrs, t) }
+func (e *Engine) Release(t *tensor.Tensor) {
+	if b := e.releaseBytes(t); b > 0 {
+		e.noteRelease(b)
+	}
+	delete(e.addrs, t)
+}
 
 // Reset clears all per-tensor, per-CSR, and per-index-buffer address
 // bookkeeping. Training loops call it between epochs so the maps track only
@@ -69,6 +85,7 @@ func (e *Engine) Release(t *tensor.Tensor) { delete(e.addrs, t) }
 // are transparently re-assigned addresses on next use, mirroring a caching
 // allocator reissuing recycled memory.
 func (e *Engine) Reset() {
+	e.noteRelease(e.obsBytes)
 	e.addrs = map[*tensor.Tensor]uint64{}
 	e.csrAddrs = map[*graph.CSR][2]uint64{}
 	e.intAddrs = map[*int32]uint64{}
@@ -84,6 +101,7 @@ func (e *Engine) addr(t *tensor.Tensor) uint64 {
 	}
 	a := e.dev.Alloc(t.Size() * 4)
 	e.addrs[t] = a
+	e.noteAlloc(int64(t.Size()) * 4)
 	return a
 }
 
@@ -99,6 +117,7 @@ func (e *Engine) csrAddr(g *graph.CSR) (rowPtr, colIdx uint64) {
 	rp := e.dev.Alloc(len(g.RowPtr) * 4)
 	ci := e.dev.Alloc(len(g.ColIdx) * 4)
 	e.csrAddrs[g] = [2]uint64{rp, ci}
+	e.noteAlloc(int64(len(g.RowPtr)+len(g.ColIdx)) * 4)
 	return rp, ci
 }
 
@@ -114,6 +133,7 @@ func (e *Engine) intAddr(idx []int32) uint64 {
 	}
 	a := e.dev.Alloc(len(idx) * 4)
 	e.intAddrs[key] = a
+	e.noteAlloc(int64(len(idx)) * 4)
 	return a
 }
 
@@ -135,6 +155,7 @@ func (e *Engine) launch(k *gpu.Kernel) {
 		k.Mix.Fp16, k.Mix.Fp32 = k.Mix.Fp32, 0
 	}
 	e.dev.Launch(k)
+	e.recordLaunch(k.Name, k.Class.String())
 }
 
 // CopyH2D models transferring t from host to device, recording its zero
@@ -144,13 +165,23 @@ func (e *Engine) CopyH2D(name string, t *tensor.Tensor) {
 	if e.dev == nil {
 		return
 	}
-	e.dev.CopyH2D(name, uint64(t.Size()*e.fpElem()), t.ZeroFraction())
+	var start int64
+	if e.track != nil {
+		start = obs.Nanos()
+	}
+	bytes := uint64(t.Size() * e.fpElem())
+	e.dev.CopyH2D(name, bytes, t.ZeroFraction())
+	e.recordH2D(name, start, int64(bytes))
 }
 
 // CopyH2DInt models transferring an int32 index buffer host to device.
 func (e *Engine) CopyH2DInt(name string, idx []int32) {
 	if e.dev == nil {
 		return
+	}
+	var start int64
+	if e.track != nil {
+		start = obs.Nanos()
 	}
 	zero := 0
 	for _, v := range idx {
@@ -163,4 +194,5 @@ func (e *Engine) CopyH2DInt(name string, idx []int32) {
 		zf = float64(zero) / float64(len(idx))
 	}
 	e.dev.CopyH2D(name, uint64(len(idx)*4), zf)
+	e.recordH2D(name, start, int64(len(idx)*4))
 }

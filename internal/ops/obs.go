@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"gnnmark/internal/obs"
+	"gnnmark/internal/tensor"
+)
+
+// Host-observability handles for the op engine. Handles are always valid;
+// recording no-ops (without allocating) until obs.Enable, so the hot op
+// path carries no conditional wiring.
+var (
+	// obsKernelsTotal counts kernels launched on the simulated device.
+	obsKernelsTotal = obs.GetCounter("ops.kernels_total")
+	// obsOpHostNanos is the host wall-clock interval attributed to each
+	// launched kernel (numerics + lowering since the previous launch).
+	obsOpHostNanos = obs.GetHistogram("ops.host_nanos", obs.DurationBuckets())
+	// obsH2DBytesTotal counts modeled host-to-device payload bytes.
+	obsH2DBytesTotal = obs.GetCounter("ops.h2d_bytes_total")
+	// obsLiveBytes / obsPeakBytes track device-address-space bookkeeping:
+	// bytes currently tracked by engines and the process-wide high water.
+	obsLiveBytes = obs.GetGauge("tensor.live_bytes")
+	obsPeakBytes = obs.GetGauge("tensor.peak_bytes")
+	// obsDeviceAllocs counts device-address allocations (addr map fills).
+	obsDeviceAllocs = obs.GetCounter("tensor.device_allocs_total")
+)
+
+// Track returns the engine's host span track (nil while observability is
+// disabled or when the engine predates obs.Enable). models.Env nests the
+// phase spans on it so per-op spans parent under their phase.
+func (e *Engine) Track() *obs.Track { return e.track }
+
+// noteAlloc records b newly tracked device bytes.
+func (e *Engine) noteAlloc(b int64) {
+	e.obsBytes += b
+	obsLiveBytes.Add(b)
+	obsPeakBytes.SetMax(obsLiveBytes.Value())
+	obsDeviceAllocs.Inc()
+}
+
+// noteRelease records b bytes leaving the engine's tracking.
+func (e *Engine) noteRelease(b int64) {
+	e.obsBytes -= b
+	obsLiveBytes.Add(-b)
+}
+
+// recordLaunch attributes the host interval since the previous op
+// boundary to the kernel just launched, as a span named after the kernel
+// in its op-class category.
+func (e *Engine) recordLaunch(name, class string) {
+	obsKernelsTotal.Inc()
+	if e.track == nil {
+		return
+	}
+	now := obs.Nanos()
+	e.track.Record(name, class, e.opMark, now-e.opMark)
+	obsOpHostNanos.Observe(now - e.opMark)
+	e.opMark = now
+}
+
+// recordH2D attributes a host-to-device copy's host time (the sparsity
+// scan and transfer modeling) to the data_load category.
+func (e *Engine) recordH2D(name string, start int64, bytes int64) {
+	obsH2DBytesTotal.Add(bytes)
+	if e.track == nil {
+		return
+	}
+	now := obs.Nanos()
+	e.track.Record(name, "data_load", start, now-start)
+	e.opMark = now
+}
+
+// MarkHostBoundary resets the per-op attribution cursor. Phase
+// transitions (models.Env) call it so host time spent outside the op
+// stream — batch bookkeeping, gradient flattening — is not charged to
+// the next kernel's span.
+func (e *Engine) MarkHostBoundary() {
+	if e.track != nil {
+		e.opMark = obs.Nanos()
+	}
+}
+
+// releaseBytes returns how many tracked device bytes t accounts for (0
+// when t has no device address).
+func (e *Engine) releaseBytes(t *tensor.Tensor) int64 {
+	if _, ok := e.addrs[t]; ok {
+		return int64(t.Size()) * 4
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"fmt"
+
+	"gnnmark/internal/obs"
+)
+
+// HostPID is the trace-event process id of the host-side span rows. The
+// device timeline renders as pid 1 (DevicePID); host tracks from
+// internal/obs render as a second process so Perfetto stacks them in one
+// view, one row per track (the engine's phase/op spans, the DDP reducer).
+const HostPID = 2
+
+// HostEvents converts every registered obs track into Chrome trace
+// events under HostPID: a process_name row, a thread_name row per track,
+// one "X" slice per span (nesting drawn from span containment), and a
+// host_spans_dropped metadata event per track that hit its span cap.
+//
+// Host spans are stamped in real wall-clock nanoseconds since process
+// start, while device events live on the simulated device clock; both
+// start near zero, so the merged view lines the two planes up without
+// pretending they share a clock.
+func HostEvents() []Event {
+	tracks := obs.Tracks()
+	if len(tracks) == 0 {
+		return nil
+	}
+	events := []Event{
+		metaEvent("process_name", HostPID, 0, map[string]string{"name": "host"}),
+	}
+	for _, tr := range tracks {
+		events = append(events, metaEvent("thread_name", HostPID, tr.ID,
+			map[string]string{"name": tr.Name}))
+		if tr.Dropped > 0 {
+			events = append(events, metaEvent("host_spans_dropped", HostPID, tr.ID,
+				map[string]string{"count": fmt.Sprintf("%d", tr.Dropped)}))
+		}
+		for _, sp := range tr.Spans {
+			events = append(events, Event{
+				Name: sp.Name,
+				Cat:  sp.Cat,
+				Ph:   "X",
+				TS:   float64(sp.Start) / 1e3, // ns -> us
+				Dur:  float64(sp.Dur) / 1e3,
+				PID:  HostPID,
+				TID:  tr.ID,
+			})
+		}
+	}
+	return events
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/obs"
+)
+
+func TestHostEventsMergeAsSecondProcess(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Reset()
+		obs.Disable()
+	}()
+	obs.Reset()
+
+	tr := obs.NewTrack("host-test")
+	if tr == nil {
+		t.Fatal("NewTrack returned nil with obs enabled")
+	}
+	outer := tr.Begin("epoch", "phase")
+	tr.Record("op", "GEMM", obs.Nanos(), 10)
+	outer.End()
+
+	dev, r := testDev()
+	launch(dev, gpu.OpGEMM, 1<<12)
+
+	merged := append(r.TimelineEvents(), HostEvents()...)
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+
+	pids := map[int]bool{}
+	hostSlices, hostNamed := 0, false
+	for _, e := range doc.TraceEvents {
+		pids[e.PID] = true
+		if e.PID == HostPID {
+			if e.Ph == "X" {
+				hostSlices++
+			}
+			if e.Ph == "M" && e.Name == "process_name" && e.Args["name"] == "host" {
+				hostNamed = true
+			}
+		}
+	}
+	if !pids[DevicePID] || !pids[HostPID] {
+		t.Fatalf("merged trace missing a process: pids = %v", pids)
+	}
+	if hostSlices < 2 {
+		t.Fatalf("host slices = %d, want >= 2 (epoch span + recorded op)", hostSlices)
+	}
+	if !hostNamed {
+		t.Fatal("host process_name metadata missing")
+	}
+}

@@ -62,6 +62,30 @@ func TestRecorderLimit(t *testing.T) {
 	if r.Len() != 2 {
 		t.Fatalf("limit not enforced: %d events", r.Len())
 	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", r.Dropped())
+	}
+	// The drop count must surface in the written timeline as metadata.
+	var buf bytes.Buffer
+	dropped, err := r.WriteTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("WriteTimeline dropped = %d, want 3", dropped)
+	}
+	found := false
+	for _, e := range r.TimelineEvents() {
+		if e.Ph == "M" && e.Name == "device_events_dropped" {
+			if e.Args["count"] != "3" {
+				t.Fatalf("dropped metadata count = %q, want 3", e.Args["count"])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no device_events_dropped metadata event")
+	}
 }
 
 func TestWriteJSONIsValidChromeTrace(t *testing.T) {
@@ -79,12 +103,25 @@ func TestWriteJSONIsValidChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 2 {
-		t.Fatalf("round trip lost events: %d", len(doc.TraceEvents))
-	}
+	var slices, meta int
 	for _, e := range doc.TraceEvents {
-		if e.Ph != "X" || e.PID != 1 {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.PID != DevicePID {
+				t.Fatalf("slice on pid %d, want %d: %+v", e.PID, DevicePID, e)
+			}
+		case "M":
+			meta++
+		default:
 			t.Fatalf("malformed event %+v", e)
 		}
+	}
+	if slices != 2 {
+		t.Fatalf("round trip lost events: %d slices", slices)
+	}
+	// process_name + Transfer row + one row per op class, no drop marker.
+	if want := 2 + gpu.NumOpClasses; meta != want {
+		t.Fatalf("metadata events = %d, want %d", meta, want)
 	}
 }
