@@ -32,6 +32,7 @@ import (
 	"gnnmark/internal/ops"
 	"gnnmark/internal/report"
 	"gnnmark/internal/trace"
+	"gnnmark/internal/vmem"
 )
 
 func main() {
@@ -56,10 +57,11 @@ func main() {
 	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
 	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
 	gpus := fs.Int("gpus", 1, "simulated GPU count for executed DDP training (run command; >1 trains replicas with bucketed ring-allreduce)")
+	hbmGB := fs.Float64("hbm-gb", 0, "simulated device-memory budget in GiB (0 = GPU preset capacity; too small fails with a simulated OOM report)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus}
+	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus, HBMGB: *hbmGB}
 	if *metricsOut != "" || *hostTrace != "" {
 		obs.Enable()
 	}
@@ -67,7 +69,7 @@ func main() {
 	switch cmd {
 	case "table1":
 		fmt.Print(bench.Table1())
-	case "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8":
+	case "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "figm":
 		s := characterize(cfg)
 		fmt.Print(figure(s, cmd))
 	case "fig9":
@@ -104,6 +106,9 @@ func main() {
 		fail(err)
 		fmt.Printf("%s on %s: %d params, losses %v\n", r.Workload, r.Dataset, r.ParamCount, r.Losses)
 		fmt.Printf("epoch seconds (simulated): %v\n", r.EpochSeconds)
+		fmt.Printf("device memory: peak live %s, reserved %s, %d allocs (%.1f%% reused, %.1f%% fragmentation)\n",
+			vmem.FormatBytes(r.Mem.PeakLive), vmem.FormatBytes(r.Mem.PeakReserved),
+			r.Mem.Allocs, 100*r.Mem.ReuseRate(), 100*r.Mem.PeakFragmentation())
 		for i, hp := range r.HostPhases {
 			fmt.Printf("obs epoch %d: %s\n", i+1, hp)
 		}
@@ -113,7 +118,7 @@ func main() {
 		fmt.Print(bench.Table1())
 		fmt.Println()
 		s := characterize(cfg)
-		for _, f := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"} {
+		for _, f := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "figm"} {
 			fmt.Print(figure(s, f))
 			fmt.Println()
 		}
@@ -308,6 +313,8 @@ func figure(s *bench.Suite, name string) string {
 		return s.Fig7()
 	case "fig8":
 		return s.Fig8()
+	case "figm":
+		return s.FigM()
 	}
 	panic("unknown figure " + name)
 }
@@ -344,6 +351,7 @@ commands:
   table1       print the suite inventory (Table I)
   fig2..fig8   regenerate one figure of the paper
   fig9         multi-GPU strong-scaling study
+  figm         per-workload device-memory footprint table
   run          characterize one workload (-workload, -dataset)
   all          everything
   infer            training-vs-inference op-mix contrast (-workload)
@@ -359,6 +367,6 @@ commands:
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
-flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N
+flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N  -hbm-gb N
        -trace FILE  -metrics-out FILE  -host-trace FILE  (run: device trace / host metrics JSON / merged host+device trace)`)
 }

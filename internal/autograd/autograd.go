@@ -53,7 +53,9 @@ func (v *Var) accum(dy *tensor.Tensor) {
 		return
 	}
 	if v.grad == nil {
-		v.grad = tensor.New(v.Value.Shape()...)
+		// Gradients are transient (one per node per iteration): draw them
+		// from the host buffer pool and return them in ReleaseGrads.
+		v.grad = tensor.NewPooled(v.Value.Shape()...)
 	}
 	gd, dd := v.grad.Data(), dy.Data()
 	if len(gd) != len(dd) {
@@ -123,6 +125,20 @@ func (t *Tape) Backward(loss *Var) {
 			for j := range pg {
 				pg[j] += vg[j]
 			}
+		}
+	}
+}
+
+// ReleaseGrads recycles every node gradient into the host buffer pool and
+// detaches them from the tape. Call it once the iteration's gradients have
+// been consumed (after the optimizer step); Var.Grad returns nil afterwards.
+// Tapes are per-iteration, so this is the natural end of the gradients'
+// lifetime — parameter gradients (Param.Grad) are unaffected.
+func (t *Tape) ReleaseGrads() {
+	for _, v := range t.nodes {
+		if v.grad != nil {
+			tensor.Recycle(v.grad)
+			v.grad = nil
 		}
 	}
 }

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnmark/internal/vmem"
+)
+
+// FigM renders the per-workload device-memory characterization (our
+// "Fig. M", extending the paper with the footprint dimension): peak-live
+// and reserved bytes from each run's caching allocator, the allocation
+// rate, the free-list reuse rate, and the fragmentation ratio. It reads
+// the allocator snapshots the suite's runs already carry — no extra runs.
+func (s *Suite) FigM() string {
+	var b strings.Builder
+	b.WriteString("Figure M: per-workload device-memory footprint (V100 caching allocator)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s %8s %8s %6s\n",
+		"workload", "peak live", "reserved", "allocs", "reuse", "frag", "OOMs")
+	for _, r := range s.Results {
+		m := r.Mem
+		fmt.Fprintf(&b, "%-12s %12s %12s %10d %7.1f%% %7.1f%% %6d\n",
+			r.Label(), vmem.FormatBytes(m.PeakLive), vmem.FormatBytes(m.PeakReserved),
+			m.Allocs, 100*m.ReuseRate(), 100*m.PeakFragmentation(), m.OOMs)
+	}
+	return b.String()
+}

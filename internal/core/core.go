@@ -17,6 +17,7 @@ import (
 	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/profiler"
+	"gnnmark/internal/vmem"
 )
 
 // Spec is one Table I row: a workload, its provenance, and its datasets.
@@ -172,6 +173,11 @@ type RunConfig struct {
 	// simulated devices, each training a replica on its batch shard with
 	// bucketed ring-allreduce gradient averaging. 0 or 1 = single device.
 	GPUs int
+	// HBMGB overrides the simulated device-memory budget in GiB (0 = the
+	// GPU preset's capacity, 16 GiB on the V100). Runs whose footprint
+	// exceeds the budget return a *vmem.OOMError naming the failing kernel
+	// and the top live allocations.
+	HBMGB float64
 	// Backend selects the CPU numerics backend: "serial" (default) or
 	// "parallel". Both produce bitwise-identical results; parallel tiles
 	// large kernels across a worker pool to speed up simulation wall-clock.
@@ -215,11 +221,24 @@ type RunResult struct {
 	// HostPhases is the per-epoch host wall-clock phase breakdown; empty
 	// unless obs.Enabled during the run.
 	HostPhases []obs.PhaseBreakdown
+	// Mem snapshots the device allocator after training: peak-live is the
+	// per-iteration footprint high-water mark (the memory figure's input).
+	Mem vmem.Stats
 }
 
 // Run executes one characterization run: build device + profiler + model,
-// train, snapshot.
-func Run(cfg RunConfig) (RunResult, error) {
+// train, snapshot. A workload whose footprint exceeds the device-memory
+// budget returns a *vmem.OOMError (the simulated-OOM report) as err.
+func Run(cfg RunConfig) (res RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if oom, ok := r.(*vmem.OOMError); ok {
+				err = oom
+				return
+			}
+			panic(r)
+		}
+	}()
 	cfg.defaults()
 	spec, err := Lookup(cfg.Workload)
 	if err != nil {
@@ -247,6 +266,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	devCfg.MaxSampledWarps = cfg.SampledWarps
 	devCfg.HalfPrecision = cfg.HalfPrecision
 	devCfg.BypassL1 = cfg.BypassL1
+	if cfg.HBMGB > 0 {
+		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
+	}
 	be, err := backend.New(cfg.Backend)
 	if err != nil {
 		return RunResult{}, err
@@ -261,14 +283,16 @@ func Run(cfg RunConfig) (RunResult, error) {
 	env.Training = !cfg.ForwardOnly
 
 	w := spec.Build(env, dataset, cfg.BatchDivisor)
-	// Construction may launch preprocessing kernels; measure training only.
+	// Construction may launch preprocessing kernels; measure training only
+	// (memory peaks rebase to the still-live construction footprint).
 	prof.Reset()
 	dev.ResetClock()
+	dev.Mem().ResetPeak()
 	if obs.Enabled() {
 		obs.Reset()
 	}
 
-	res := RunResult{
+	res = RunResult{
 		Workload:   spec.Key,
 		Dataset:    dataset,
 		ParamCount: nn.NumParams(w.Params()),
@@ -292,6 +316,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	res.Report = prof.Snapshot()
 	res.SparsityTimeline = prof.SparsityTimeline()
 	res.EpochSeconds = prof.EpochSeconds()
+	res.Mem = dev.MemStats()
 	res.PerClass = map[gpu.OpClass]profiler.ClassStats{}
 	for _, c := range gpu.AllOpClasses() {
 		if cs := prof.Class(c); cs.Kernels > 0 {
@@ -325,6 +350,9 @@ func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
 	devCfg.MaxSampledWarps = cfg.SampledWarps
 	devCfg.HalfPrecision = cfg.HalfPrecision
 	devCfg.BypassL1 = cfg.BypassL1
+	if cfg.HBMGB > 0 {
+		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
+	}
 
 	factory := func(rank, world int) (models.Workload, *models.Env) {
 		dev := gpu.New(devCfg)

@@ -103,6 +103,9 @@ type ClusterResult struct {
 	// Replicas exposes the trained workloads (index = rank) so callers can
 	// verify weight equivalence against single-device training.
 	Replicas []models.Workload
+	// PeakMemBytes is the highest per-device peak-live device memory across
+	// replicas (each simulated GPU owns its own caching allocator).
+	PeakMemBytes int64
 }
 
 // Cluster executes DDP training with one goroutine per simulated GPU.
@@ -362,6 +365,11 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 	}
 	for _, rep := range reps {
 		res.Replicas = append(res.Replicas, rep.w)
+		if dev := rep.env.E.Device(); dev != nil {
+			if peak := dev.MemStats().PeakLive; peak > res.PeakMemBytes {
+				res.PeakMemBytes = peak
+			}
+		}
 	}
 	return res, nil
 }
@@ -399,6 +407,9 @@ func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
 	}
 	res.ComputeSeconds = last
 	res.TotalSeconds = last
+	if dev != nil {
+		res.PeakMemBytes = dev.MemStats().PeakLive
+	}
 	return res
 }
 

@@ -70,6 +70,11 @@ type Config struct {
 	// and the counters rescaled. Lower is faster and less precise.
 	MaxSampledWarps int
 
+	// HBMBytes is the device-memory capacity enforced by the simulated
+	// caching allocator. Zero means DefaultHBMBytes. Workloads whose
+	// footprint exceeds the budget fail with a simulated OOM.
+	HBMBytes int64
+
 	// HalfPrecision, when true, halves the storage footprint of fp tensors
 	// (the paper's future-work fp16 mode): access streams shrink and fp16
 	// math uses doubled-rate lanes.
@@ -113,6 +118,7 @@ func V100() Config {
 		NVLinkBandwidthGBps: 300,
 		NVLinkLatencyUS:     1.9,
 		MaxSampledWarps:     1 << 14,
+		HBMBytes:            16 << 30,
 	}
 }
 
@@ -146,6 +152,7 @@ func A100() Config {
 	c.L2BandwidthGBps = 4500
 	c.DRAMLatencyCycles = 900
 	c.NVLinkBandwidthGBps = 600
+	c.HBMBytes = 40 << 30
 	return c
 }
 
@@ -201,6 +208,8 @@ func (c Config) Validate() error {
 		return errConfig("IssueLanesPerSM must be positive")
 	case c.MaxSampledWarps <= 0:
 		return errConfig("MaxSampledWarps must be positive")
+	case c.HBMBytes < 0:
+		return errConfig("HBMBytes must be non-negative")
 	}
 	return nil
 }

@@ -3,19 +3,23 @@ package gpu
 import (
 	"fmt"
 	"time"
+
+	"gnnmark/internal/vmem"
 )
 
-// Device is a single simulated GPU. It owns a warm L2, a bump allocator for
-// synthetic device addresses, and the running clock of simulated time. A
-// Device is not safe for concurrent use; GNNMark training loops are
-// sequential, as PyTorch CUDA streams are within one iteration.
+// Device is a single simulated GPU. It owns a warm L2, a capacity-bounded
+// caching allocator assigning device addresses, and the running clock of
+// simulated time. A Device is not safe for concurrent use; GNNMark training
+// loops are sequential, as PyTorch CUDA streams are within one iteration.
 type Device struct {
 	cfg Config
 	l1  *Cache
 	l2  *Cache
 
-	allocCursor uint64
-	allocTotal  uint64
+	mem        *vmem.Allocator
+	pendingOOM *vmem.OOMError
+	oomCursor  uint64
+	allocTotal uint64
 
 	seconds      float64
 	kernelCount  uint64
@@ -35,17 +39,25 @@ type TransferStats struct {
 	HostToDevice bool
 }
 
+// DefaultHBMBytes is the device-memory budget used when Config.HBMBytes is
+// zero: the 16 GiB of the paper's V100-SXM2-16GB.
+const DefaultHBMBytes = 16 << 30
+
 // New constructs a Device from cfg. It panics when the config is invalid,
 // mirroring the "fail at init" convention for programmer errors.
 func New(cfg Config) *Device {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	hbm := cfg.HBMBytes
+	if hbm == 0 {
+		hbm = DefaultHBMBytes
+	}
 	return &Device{
-		cfg:         cfg,
-		l1:          NewCache(cfg.L1SizeKB<<10, cfg.L1LineBytes, cfg.L1Ways),
-		l2:          NewCache(cfg.L2SizeKB<<10, cfg.L2LineBytes, cfg.L2Ways),
-		allocCursor: 1 << 20,
+		cfg: cfg,
+		l1:  NewCache(cfg.L1SizeKB<<10, cfg.L1LineBytes, cfg.L1Ways),
+		l2:  NewCache(cfg.L2SizeKB<<10, cfg.L2LineBytes, cfg.L2Ways),
+		mem: vmem.New(hbm),
 	}
 }
 
@@ -61,29 +73,46 @@ func (d *Device) FpElemBytes() int {
 	return 4
 }
 
-// allocPool is the address range the bump allocator wraps within,
-// emulating a framework caching allocator: freed tensors' addresses are
-// reissued, so the shared L2 sees cross-kernel reuse exactly as it does
-// under PyTorch's allocator.
-const allocPool = 48 << 20
-
-// Alloc reserves bytes of synthetic device address space and returns the
-// base address. Addresses wrap within allocPool (see above); distinct live
-// tensors may eventually alias, which is precisely how recycled device
-// memory behaves from the cache hierarchy's point of view.
-func (d *Device) Alloc(bytes int) uint64 {
+// AllocBlock reserves bytes of simulated device memory under tag and
+// returns the block. The caller returns it with Free when the tensor's
+// lifetime ends; freed addresses are reissued by the caching allocator, so
+// the shared L2 sees cross-kernel reuse exactly as it does under PyTorch's
+// allocator. On a simulated OOM the error is parked and a detached
+// placeholder block is returned: kernel lowering proceeds harmlessly to the
+// next Launch, which panics with the kernel's name attached to the report.
+func (d *Device) AllocBlock(bytes int, tag string) *vmem.Block {
 	if bytes < 0 {
 		panic("gpu: negative allocation")
 	}
-	const align = 256
-	sz := (uint64(bytes) + align - 1) &^ uint64(align-1)
-	if d.allocCursor+sz > allocPool && sz <= allocPool {
-		d.allocCursor = 1 << 20
+	b, err := d.mem.Alloc(int64(bytes), tag)
+	if err != nil {
+		if d.pendingOOM == nil {
+			d.pendingOOM = err.(*vmem.OOMError)
+		}
+		// Placeholder addresses live far above any real segment so the
+		// doomed kernel's access replay cannot alias live data.
+		addr := uint64(1<<40) + d.oomCursor
+		d.oomCursor += uint64(vmem.RoundSize(int64(bytes)))
+		return vmem.Placeholder(addr, vmem.RoundSize(int64(bytes)))
 	}
-	base := d.allocCursor
-	d.allocCursor += sz
-	d.allocTotal += sz
-	return base
+	d.allocTotal += uint64(b.Size())
+	return b
+}
+
+// Free returns a block to the device allocator (no-op for placeholders).
+func (d *Device) Free(b *vmem.Block) { d.mem.Free(b) }
+
+// Mem exposes the device's caching allocator.
+func (d *Device) Mem() *vmem.Allocator { return d.mem }
+
+// MemStats returns a snapshot of the device-memory allocator counters.
+func (d *Device) MemStats() vmem.Stats { return d.mem.Stats() }
+
+// Alloc reserves bytes of simulated device memory and returns the base
+// address, leaking the block. It exists for tests and scratch callers that
+// never release memory; tensor-lifetime code uses AllocBlock/Free.
+func (d *Device) Alloc(bytes int) uint64 {
+	return d.AllocBlock(bytes, "scratch").Addr()
 }
 
 // AllocatedBytes returns the cumulative bytes allocated on the device (the
@@ -148,6 +177,11 @@ func (d *Device) CopyH2D(name string, bytes uint64, zeroFraction float64) Transf
 // model, attributes stalls, advances the simulated clock, and notifies
 // subscribers. The returned stats are also delivered to listeners.
 func (d *Device) Launch(k *Kernel) KernelStats {
+	if oom := d.pendingOOM; oom != nil {
+		d.pendingOOM = nil
+		oom.Kernel = k.Name
+		panic(oom)
+	}
 	if k.Threads <= 0 {
 		k.Threads = 32
 	}

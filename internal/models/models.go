@@ -73,6 +73,12 @@ func NewEnv(e *ops.Engine, seed int64) *Env {
 }
 
 func (env *Env) iter() {
+	// A new iteration begins: the previous iteration's activations are
+	// dead, so their device blocks return to the caching allocator (and
+	// the free lists reissue the same addresses to this iteration).
+	if env.E != nil {
+		env.E.BeginIteration()
+	}
 	if env.OnIteration != nil {
 		env.OnIteration()
 	}
@@ -139,6 +145,9 @@ func (env *Env) Step(t *autograd.Tape, loss *autograd.Var, params []*autograd.Pa
 		nn.ClipGradNorm(params, clipNorm)
 	}
 	opt.Step()
+	// The iteration's node gradients are consumed: recycle their buffers
+	// into the host pool for the next tape.
+	t.ReleaseGrads()
 	// Until the next iter() the host is selecting/assembling the next
 	// batch (or closing the epoch).
 	env.beginPhase(obs.PhaseDataLoad, phaseDataC)

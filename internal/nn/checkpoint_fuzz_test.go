@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gnnmark/internal/ops"
+)
+
+// FuzzLoadParams hardens the checkpoint loaders against malformed input:
+// corrupt magic, hostile length prefixes, truncated streams, and arbitrary
+// garbage must all return errors — never panic, and never allocate from an
+// attacker-controlled size (all data buffers are sized by the model's own
+// shapes). The seed corpus (valid checkpoints plus targeted corruptions)
+// runs under plain `go test`.
+func FuzzLoadParams(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLinear(rng, "fc", 3, 2, true)
+	var valid bytes.Buffer
+	if err := SaveParams(&valid, l.Params()); err != nil {
+		f.Fatal(err)
+	}
+	e := ops.New(nil)
+	opt := NewAdam(e, l.Params(), 1e-2)
+	var validTraining bytes.Buffer
+	if err := SaveTraining(&validTraining, opt); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid.Bytes())
+	f.Add(validTraining.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("GNNMARK1"))
+	f.Add([]byte("GNNMARKT"))
+	// Hostile string length right after magic and count.
+	hostile := append([]byte("GNNMARK1"), 0x02, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff)
+	f.Add(hostile)
+	// Truncations of a valid stream.
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(validTraining.Bytes()[:len(validTraining.Bytes())-4])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Fresh targets every run: a successful partial load may mutate
+		// parameter values, which is fine — the contract is "no panic".
+		rng := rand.New(rand.NewSource(11))
+		fl := NewLinear(rng, "fc", 3, 2, true)
+		_ = LoadParams(bytes.NewReader(data), fl.Params())
+		fopt := NewAdam(ops.New(nil), fl.Params(), 1e-2)
+		_ = LoadTraining(bytes.NewReader(data), fopt)
+	})
+}

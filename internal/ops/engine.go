@@ -10,11 +10,14 @@
 package ops
 
 import (
+	"fmt"
+
 	"gnnmark/internal/backend"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/graph"
 	"gnnmark/internal/obs"
 	"gnnmark/internal/tensor"
+	"gnnmark/internal/vmem"
 )
 
 // Engine executes tensor ops against an optional simulated device. A nil
@@ -24,11 +27,15 @@ import (
 // concurrent use, though engines sharing the parallel backend may run on
 // separate goroutines (the backend's worker pool is process-wide).
 type Engine struct {
-	dev      *gpu.Device
-	be       backend.Backend
-	addrs    map[*tensor.Tensor]uint64
-	csrAddrs map[*graph.CSR][2]uint64
-	intAddrs map[*int32]uint64
+	dev       *gpu.Device
+	be        backend.Backend
+	blocks    map[*tensor.Tensor]*vmem.Block
+	csrBlocks map[*graph.CSR][2]*vmem.Block
+	intBlocks map[*int32]*vmem.Block
+	// seq keeps allocation order so bulk releases free blocks
+	// deterministically (map iteration order would perturb the allocator's
+	// free lists run to run and break golden determinism).
+	seq []*vmem.Block
 
 	// Host observability (internal/obs). track is nil unless obs was
 	// enabled when the engine was built; opMark is the host-clock cursor
@@ -52,13 +59,13 @@ func NewWith(dev *gpu.Device, be backend.Backend) *Engine {
 		be = backend.Default()
 	}
 	return &Engine{
-		dev:      dev,
-		be:       be,
-		addrs:    map[*tensor.Tensor]uint64{},
-		csrAddrs: map[*graph.CSR][2]uint64{},
-		intAddrs: map[*int32]uint64{},
-		track:    obs.NewTrack("engine"),
-		opMark:   obs.Nanos(),
+		dev:       dev,
+		be:        be,
+		blocks:    map[*tensor.Tensor]*vmem.Block{},
+		csrBlocks: map[*graph.CSR][2]*vmem.Block{},
+		intBlocks: map[*int32]*vmem.Block{},
+		track:     obs.NewTrack("engine"),
+		opMark:    obs.Nanos(),
 	}
 }
 
@@ -68,73 +75,98 @@ func (e *Engine) Device() *gpu.Device { return e.dev }
 // Backend returns the numerics backend the engine computes on.
 func (e *Engine) Backend() backend.Backend { return e.be }
 
-// Release drops the engine's device-address bookkeeping for t. Call it when
-// a tensor's lifetime ends (the synthetic address space is a wrapping bump
-// allocator, so addresses themselves need no freeing — only the map entry
-// does).
+// Release returns t's device block to the caching allocator. Call it when a
+// tensor's lifetime ends; the freed range coalesces with free neighbors and
+// its address is reissued to later allocations.
 func (e *Engine) Release(t *tensor.Tensor) {
-	if b := e.releaseBytes(t); b > 0 {
-		e.noteRelease(b)
+	b, ok := e.blocks[t]
+	if !ok {
+		return
 	}
-	delete(e.addrs, t)
+	e.dev.Free(b)
+	e.noteRelease(int64(t.Size()) * 4)
+	delete(e.blocks, t)
 }
 
-// Reset clears all per-tensor, per-CSR, and per-index-buffer address
-// bookkeeping. Training loops call it between epochs so the maps track only
-// live tensors instead of every activation ever lowered; still-live tensors
-// are transparently re-assigned addresses on next use, mirroring a caching
-// allocator reissuing recycled memory.
-func (e *Engine) Reset() {
+// Reset returns every tracked device block to the caching allocator and
+// clears the per-tensor, per-CSR, and per-index-buffer bookkeeping.
+// Training loops call it between epochs; still-live tensors are
+// transparently re-assigned blocks on next use, with the free lists
+// reissuing the same addresses.
+func (e *Engine) Reset() { e.releaseAll() }
+
+// BeginIteration marks the start of a training iteration: every device
+// block acquired so far is returned to the allocator, modeling the end of
+// the previous iteration's activation lifetimes (PyTorch frees activations
+// when the backward graph is consumed). Peak-live memory therefore measures
+// the true per-iteration footprint, and the free lists hand the next
+// iteration the same addresses — keeping the cache model's view of reuse
+// intact.
+func (e *Engine) BeginIteration() { e.releaseAll() }
+
+// releaseAll frees every tracked block in allocation order (deterministic)
+// and clears the bookkeeping maps.
+func (e *Engine) releaseAll() {
+	if e.dev != nil {
+		for _, b := range e.seq {
+			// Free is a no-op for blocks already released via Release.
+			e.dev.Free(b)
+		}
+	}
+	e.seq = e.seq[:0]
 	e.noteRelease(e.obsBytes)
-	e.addrs = map[*tensor.Tensor]uint64{}
-	e.csrAddrs = map[*graph.CSR][2]uint64{}
-	e.intAddrs = map[*int32]uint64{}
+	clear(e.blocks)
+	clear(e.csrBlocks)
+	clear(e.intBlocks)
 }
 
-// addr returns the synthetic device address of t, allocating on first use.
+// addr returns the device address of t, acquiring a block on first use.
 func (e *Engine) addr(t *tensor.Tensor) uint64 {
 	if e.dev == nil {
 		return 0
 	}
-	if a, ok := e.addrs[t]; ok {
-		return a
+	if b, ok := e.blocks[t]; ok {
+		return b.Addr()
 	}
-	a := e.dev.Alloc(t.Size() * 4)
-	e.addrs[t] = a
+	b := e.dev.AllocBlock(t.Size()*4, fmt.Sprintf("tensor%v", t.Shape()))
+	e.blocks[t] = b
+	e.seq = append(e.seq, b)
 	e.noteAlloc(int64(t.Size()) * 4)
-	return a
+	return b.Addr()
 }
 
-// csrAddr returns synthetic device addresses for a CSR's RowPtr and ColIdx
-// arrays, allocating on first use.
+// csrAddr returns device addresses for a CSR's RowPtr and ColIdx arrays,
+// acquiring blocks on first use.
 func (e *Engine) csrAddr(g *graph.CSR) (rowPtr, colIdx uint64) {
 	if e.dev == nil {
 		return 0, 0
 	}
-	if a, ok := e.csrAddrs[g]; ok {
-		return a[0], a[1]
+	if b, ok := e.csrBlocks[g]; ok {
+		return b[0].Addr(), b[1].Addr()
 	}
-	rp := e.dev.Alloc(len(g.RowPtr) * 4)
-	ci := e.dev.Alloc(len(g.ColIdx) * 4)
-	e.csrAddrs[g] = [2]uint64{rp, ci}
+	rp := e.dev.AllocBlock(len(g.RowPtr)*4, "csr.rowptr")
+	ci := e.dev.AllocBlock(len(g.ColIdx)*4, "csr.colidx")
+	e.csrBlocks[g] = [2]*vmem.Block{rp, ci}
+	e.seq = append(e.seq, rp, ci)
 	e.noteAlloc(int64(len(g.RowPtr)+len(g.ColIdx)) * 4)
-	return rp, ci
+	return rp.Addr(), ci.Addr()
 }
 
-// intAddr returns a synthetic device address for an int32 buffer, keyed by
-// its first element's identity (buffers are reused across iterations).
+// intAddr returns a device address for an int32 buffer, keyed by its first
+// element's identity (buffers are reused across iterations).
 func (e *Engine) intAddr(idx []int32) uint64 {
 	if e.dev == nil || len(idx) == 0 {
 		return 0
 	}
 	key := &idx[0]
-	if a, ok := e.intAddrs[key]; ok {
-		return a
+	if b, ok := e.intBlocks[key]; ok {
+		return b.Addr()
 	}
-	a := e.dev.Alloc(len(idx) * 4)
-	e.intAddrs[key] = a
+	b := e.dev.AllocBlock(len(idx)*4, "int32.index")
+	e.intBlocks[key] = b
+	e.seq = append(e.seq, b)
 	e.noteAlloc(int64(len(idx)) * 4)
-	return a
+	return b.Addr()
 }
 
 // fpElem returns the floating-point element size under the device's

@@ -2,7 +2,6 @@ package ops
 
 import (
 	"gnnmark/internal/obs"
-	"gnnmark/internal/tensor"
 )
 
 // Host-observability handles for the op engine. Handles are always valid;
@@ -16,11 +15,12 @@ var (
 	obsOpHostNanos = obs.GetHistogram("ops.host_nanos", obs.DurationBuckets())
 	// obsH2DBytesTotal counts modeled host-to-device payload bytes.
 	obsH2DBytesTotal = obs.GetCounter("ops.h2d_bytes_total")
-	// obsLiveBytes / obsPeakBytes track device-address-space bookkeeping:
-	// bytes currently tracked by engines and the process-wide high water.
+	// obsLiveBytes / obsPeakBytes track device-block bookkeeping: bytes
+	// currently tracked by engines and the process-wide high water. The
+	// allocator's own view (rounded blocks, segments) is under vmem.*.
 	obsLiveBytes = obs.GetGauge("tensor.live_bytes")
 	obsPeakBytes = obs.GetGauge("tensor.peak_bytes")
-	// obsDeviceAllocs counts device-address allocations (addr map fills).
+	// obsDeviceAllocs counts device-block acquisitions (block map fills).
 	obsDeviceAllocs = obs.GetCounter("tensor.device_allocs_total")
 )
 
@@ -77,13 +77,4 @@ func (e *Engine) MarkHostBoundary() {
 	if e.track != nil {
 		e.opMark = obs.Nanos()
 	}
-}
-
-// releaseBytes returns how many tracked device bytes t accounts for (0
-// when t has no device address).
-func (e *Engine) releaseBytes(t *tensor.Tensor) int64 {
-	if _, ok := e.addrs[t]; ok {
-		return int64(t.Size()) * 4
-	}
-	return 0
 }

@@ -12,6 +12,7 @@ import (
 	"gnnmark/internal/bench"
 	"gnnmark/internal/core"
 	"gnnmark/internal/gpu"
+	"gnnmark/internal/vmem"
 )
 
 // row is one labeled series of percentage cells.
@@ -142,6 +143,11 @@ func WriteHTML(w io.Writer, suite *bench.Suite, scaling []bench.ScalingResult) e
 		Caption: "Zero fraction of host-to-device training transfers, with a zero-RLE compression estimate.",
 		Heads:   []string{"sparsity", "est. compression"},
 	}
+	figM := figure{
+		Title:   "Figure M — device-memory footprint",
+		Caption: "Peak-live and reserved device memory per workload from the simulated V100 caching allocator, with free-list reuse and fragmentation rates.",
+		Heads:   []string{"peak live", "reserved", "allocs", "reuse", "frag"},
+	}
 	for _, r := range suite.Results {
 		rep := r.Report
 		var cells []cell
@@ -161,8 +167,14 @@ func WriteHTML(w io.Writer, suite *bench.Suite, scaling []bench.ScalingResult) e
 		fig7.Rows = append(fig7.Rows, row{Label: r.Label(), Cells: []cell{
 			pct(rep.AvgSparsity),
 			num("%.2fx", bench.CompressionRatio(rep.AvgSparsity))}})
+		m := r.Mem
+		figM.Rows = append(figM.Rows, row{Label: r.Label(), Cells: []cell{
+			{Text: vmem.FormatBytes(m.PeakLive)},
+			{Text: vmem.FormatBytes(m.PeakReserved)},
+			num("%.0f", float64(m.Allocs)),
+			pct(m.ReuseRate()), pct(m.PeakFragmentation())}})
 	}
-	p.Figures = []figure{fig2, fig3, fig4, fig5, fig6, fig7}
+	p.Figures = []figure{fig2, fig3, fig4, fig5, fig6, fig7, figM}
 
 	if err := tmpl.Execute(w, p); err != nil {
 		return fmt.Errorf("report: rendering HTML: %w", err)

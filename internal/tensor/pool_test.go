@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPooledZeroFilledAfterReuse(t *testing.T) {
+	a := NewPooled(17, 3)
+	for i := range a.Data() {
+		a.Data()[i] = float32(i + 1)
+	}
+	Recycle(a)
+	// Same class (17*3*4 = 204 -> 512 bytes): the dirty buffer must come
+	// back zeroed, keeping pooled results bitwise identical to New.
+	b := NewPooled(51)
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	fresh := New(51)
+	if len(b.Data()) != len(fresh.Data()) {
+		t.Fatalf("pooled size %d != fresh size %d", len(b.Data()), len(fresh.Data()))
+	}
+}
+
+func TestPooledShapeAndScalar(t *testing.T) {
+	a := NewPooled(2, 3, 4)
+	if a.Size() != 24 || a.Dims() != 3 || a.Dim(2) != 4 {
+		t.Fatalf("pooled shape wrong: %v", a.Shape())
+	}
+	s := NewPooled() // scalar
+	if s.Size() != 1 {
+		t.Fatalf("scalar size %d", s.Size())
+	}
+	z := NewPooled(0, 5) // empty: served by New, Recycle drops it
+	Recycle(z)
+	Recycle(nil)
+}
+
+func TestRecycleDropsForeignBuffers(t *testing.T) {
+	puts := GetPoolStats().Puts
+	// 7 elements = 28 bytes: not a class multiple, New's cap is exact.
+	Recycle(New(7))
+	if got := GetPoolStats().Puts; got != puts {
+		t.Fatalf("pool accepted a non-class buffer (puts %d -> %d)", puts, got)
+	}
+	// A pooled tensor's buffer IS class-sized and must be accepted.
+	Recycle(NewPooled(7))
+	if got := GetPoolStats().Puts; got != puts+1 {
+		t.Fatalf("pool rejected a pooled buffer (puts %d -> %d)", puts, got)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := NewPooled(1 + (g+i)%64)
+				for j := range a.Data() {
+					if a.Data()[j] != 0 {
+						t.Errorf("dirty pooled buffer")
+						return
+					}
+					a.Data()[j] = 1
+				}
+				Recycle(a)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkNewGC vs BenchmarkNewPooled: the pooled-vs-GC allocation
+// comparison recorded in EXPERIMENTS.md (activation-gradient sized).
+func BenchmarkNewGC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := New(256, 64)
+		t.Data()[0] = 1
+	}
+}
+
+func BenchmarkNewPooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := NewPooled(256, 64)
+		t.Data()[0] = 1
+		Recycle(t)
+	}
+}
