@@ -11,9 +11,10 @@
 //	gnnmark ablate-fp16 [flags]
 //
 // Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
-// is faster), -workload KEY, -dataset NAME; `run` additionally takes
-// -metrics-out FILE (host metrics JSON) and -host-trace FILE (merged
-// host+device chrome://tracing timeline).
+// is faster), -workload KEY, -dataset NAME; -pipeline-depth N enables the
+// asynchronous input pipeline (with -loader-workers N and -compress-h2d);
+// `run` additionally takes -metrics-out FILE (host metrics JSON) and
+// -host-trace FILE (merged host+device chrome://tracing timeline).
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/report"
+	"gnnmark/internal/stream"
 	"gnnmark/internal/trace"
 	"gnnmark/internal/vmem"
 )
@@ -58,10 +60,14 @@ func main() {
 	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
 	gpus := fs.Int("gpus", 1, "simulated GPU count for executed DDP training (run command; >1 trains replicas with bucketed ring-allreduce)")
 	hbmGB := fs.Float64("hbm-gb", 0, "simulated device-memory budget in GiB (0 = GPU preset capacity; too small fails with a simulated OOM report)")
+	pipelineDepth := fs.Int("pipeline-depth", 0, "asynchronous input pipeline prefetch depth (0 = synchronous loading; numerics are identical either way)")
+	loaderWorkers := fs.Int("loader-workers", 0, "input-loader worker goroutines (0 = default; affects host scheduling only)")
+	compressH2D := fs.Bool("compress-h2d", false, "time H2D copies on sparsity-encoded bytes (zero-run/bitmap codec); requires -pipeline-depth > 0")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus, HBMGB: *hbmGB}
+	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus, HBMGB: *hbmGB,
+		PipelineDepth: *pipelineDepth, LoaderWorkers: *loaderWorkers, CompressH2D: *compressH2D}
 	if *metricsOut != "" || *hostTrace != "" {
 		obs.Enable()
 	}
@@ -76,6 +82,14 @@ func main() {
 		res, err := bench.Fig9(cfg)
 		fail(err)
 		fmt.Print(bench.FormatFig9(res))
+	case "figp":
+		figpCfg := cfg
+		if figpCfg.PipelineDepth <= 0 {
+			figpCfg.PipelineDepth = 4
+		}
+		res, err := bench.FigP(figpCfg)
+		fail(err)
+		fmt.Print(bench.FormatFigP(res, figpCfg.PipelineDepth, figpCfg.CompressH2D))
 	case "run":
 		cfg.Workload = *workload
 		cfg.Dataset = *dataset
@@ -99,7 +113,7 @@ func main() {
 					fmt.Printf("obs %d-gpu epoch %d: %s\n", r.GPUs, i+1, hp)
 				}
 			}
-			writeObsOutputs(*metricsOut, *hostTrace, nil)
+			writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
 			return
 		}
 		r, err := core.Run(cfg)
@@ -110,10 +124,20 @@ func main() {
 			vmem.FormatBytes(r.Mem.PeakLive), vmem.FormatBytes(r.Mem.PeakReserved),
 			r.Mem.Allocs, 100*r.Mem.ReuseRate(), 100*r.Mem.PeakFragmentation())
 		for i, hp := range r.HostPhases {
-			fmt.Printf("obs epoch %d: %s\n", i+1, hp)
+			line := fmt.Sprintf("obs epoch %d: %s", i+1, hp)
+			if i < len(r.Pipe) {
+				line += ", " + pipeSummary(r.Pipe[i])
+			}
+			fmt.Println(line)
+		}
+		if len(r.HostPhases) == 0 {
+			// Without host observability the pipeline stats still print.
+			for i, pe := range r.Pipe {
+				fmt.Printf("pipeline epoch %d: %s\n", i+1, pipeSummary(pe))
+			}
 		}
 		fmt.Print(r.Report.String())
-		writeObsOutputs(*metricsOut, *hostTrace, rec)
+		writeObsOutputs(*metricsOut, *hostTrace, rec, r.StreamLanes)
 	case "all":
 		fmt.Print(bench.Table1())
 		fmt.Println()
@@ -234,11 +258,23 @@ func runWithTrace(cfg core.RunConfig, path string) {
 	dev := gpu.New(devCfg)
 	rec := trace.Attach(dev, 0)
 	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
+	env.Pipeline = models.PipelineConfig{
+		Depth:       cfg.PipelineDepth,
+		Workers:     cfg.LoaderWorkers,
+		CompressH2D: cfg.CompressH2D,
+	}
+	defer env.Close()
 	dataset := cfg.Dataset
 	if dataset == "" {
 		dataset = spec.Datasets[0]
 	}
 	w := spec.Build(env, dataset, 1)
+	// Construction kernels stay on the classic serialized path; the
+	// overlapped timeline starts where training starts, so lane slices
+	// are shifted by the construction offset to line up with the device
+	// rows above them.
+	pipeOrigin := dev.ElapsedSeconds()
+	env.E.EnablePipeline(cfg.PipelineDepth, cfg.CompressH2D)
 	epochs := cfg.Epochs
 	if epochs == 0 {
 		epochs = 1
@@ -249,15 +285,37 @@ func runWithTrace(cfg core.RunConfig, path string) {
 	f, err := os.Create(path)
 	fail(err)
 	defer f.Close()
-	fail(rec.WriteJSON(f))
+	events := rec.TimelineEvents()
+	if lanes := env.E.StreamLanes(); len(lanes) > 0 {
+		for li := range lanes {
+			shifted := make([]stream.Slice, len(lanes[li].Slices))
+			copy(shifted, lanes[li].Slices)
+			for si := range shifted {
+				shifted[si].Start += pipeOrigin
+			}
+			lanes[li].Slices = shifted
+		}
+		events = append(events, trace.StreamLaneEvents(lanes)...)
+	}
+	fail(trace.WriteEvents(f, events))
 	fmt.Printf("%s: wrote %d timeline events to %s (open in chrome://tracing)\n",
-		spec.Key, rec.Len(), path)
+		spec.Key, len(events), path)
+}
+
+// pipeSummary renders one epoch's input-pipeline accounting: overlapped vs
+// serialized epoch time, the copy-engine overlap fraction, and the raw vs
+// wire H2D payload.
+func pipeSummary(pe ops.PipeEpoch) string {
+	return fmt.Sprintf("pipeline %.3fms vs sync %.3fms (%.2fx), overlap %.1f%%, h2d raw %s wire %s (%.2fx)",
+		1e3*pe.PipeSeconds, 1e3*pe.SyncSeconds, pe.Speedup(), 100*pe.OverlapFraction(),
+		vmem.FormatBytes(int64(pe.RawBytes)), vmem.FormatBytes(int64(pe.WireBytes())), pe.CompressionRatio())
 }
 
 // writeObsOutputs writes the host-observability artifacts requested on the
 // command line: the metrics JSON snapshot and the merged host+device
-// Chrome trace (host spans as a second process beside the device rows).
-func writeObsOutputs(metricsPath, tracePath string, rec *trace.Recorder) {
+// Chrome trace (host spans as a second process beside the device rows,
+// stream lanes as extra named threads under the device process).
+func writeObsOutputs(metricsPath, tracePath string, rec *trace.Recorder, lanes []stream.Lane) {
 	if metricsPath != "" {
 		f, err := os.Create(metricsPath)
 		fail(err)
@@ -267,6 +325,9 @@ func writeObsOutputs(metricsPath, tracePath string, rec *trace.Recorder) {
 	}
 	if tracePath != "" {
 		events := trace.HostEvents()
+		if len(lanes) > 0 {
+			events = append(trace.StreamLaneEvents(lanes), events...)
+		}
 		dropped := 0
 		if rec != nil {
 			events = append(rec.TimelineEvents(), events...)
@@ -352,6 +413,7 @@ commands:
   fig2..fig8   regenerate one figure of the paper
   fig9         multi-GPU strong-scaling study
   figm         per-workload device-memory footprint table
+  figp         asynchronous-input-pipeline study: sync vs overlapped epoch time (-pipeline-depth, -compress-h2d)
   run          characterize one workload (-workload, -dataset)
   all          everything
   infer            training-vs-inference op-mix contrast (-workload)
@@ -368,5 +430,6 @@ commands:
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
 flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N  -hbm-gb N
+       -pipeline-depth N  -loader-workers N  -compress-h2d  (asynchronous input pipeline; identical numerics)
        -trace FILE  -metrics-out FILE  -host-trace FILE  (run: device trace / host metrics JSON / merged host+device trace)`)
 }

@@ -17,6 +17,7 @@ import (
 	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/profiler"
+	"gnnmark/internal/stream"
 	"gnnmark/internal/vmem"
 )
 
@@ -182,6 +183,17 @@ type RunConfig struct {
 	// "parallel". Both produce bitwise-identical results; parallel tiles
 	// large kernels across a worker pool to speed up simulation wall-clock.
 	Backend string
+	// PipelineDepth enables the asynchronous input pipeline: input batches
+	// are staged ahead by loader workers and their H2D copies run on a
+	// dedicated copy-engine stream, overlapped with compute up to this many
+	// iterations ahead. 0 = synchronous (the baseline). Numerics are
+	// bitwise-identical either way; only the overlapped timeline differs.
+	PipelineDepth int
+	// LoaderWorkers is the loader worker-goroutine count (0 = default).
+	LoaderWorkers int
+	// CompressH2D times the copy engine on sparsity-encoded H2D bytes
+	// (zero-run / bitmap codec) instead of raw; requires PipelineDepth > 0.
+	CompressH2D bool
 	// OnDevice, when non-nil, is invoked with each simulated device right
 	// after construction — the hook the CLI uses to attach a trace.Recorder
 	// before any kernels launch.
@@ -224,6 +236,13 @@ type RunResult struct {
 	// Mem snapshots the device allocator after training: peak-live is the
 	// per-iteration footprint high-water mark (the memory figure's input).
 	Mem vmem.Stats
+	// Pipe is the per-epoch pipeline accounting (sync vs overlapped epoch
+	// time, per-stream busy time, raw vs encoded H2D bytes); empty unless
+	// PipelineDepth > 0.
+	Pipe []ops.PipeEpoch
+	// StreamLanes snapshots the per-stream busy/idle accounting and trace
+	// slices at the end of the run; nil unless PipelineDepth > 0.
+	StreamLanes []stream.Lane
 }
 
 // Run executes one characterization run: build device + profiler + model,
@@ -281,6 +300,14 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 	env.OnIteration = prof.NextIteration
 	env.Training = !cfg.ForwardOnly
+	// The pipeline config must be set before Build: workload constructors
+	// create their input loaders from it.
+	env.Pipeline = models.PipelineConfig{
+		Depth:       cfg.PipelineDepth,
+		Workers:     cfg.LoaderWorkers,
+		CompressH2D: cfg.CompressH2D,
+	}
+	defer env.Close()
 
 	w := spec.Build(env, dataset, cfg.BatchDivisor)
 	// Construction may launch preprocessing kernels; measure training only
@@ -291,6 +318,10 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	if obs.Enabled() {
 		obs.Reset()
 	}
+	// Enable the stream timeline after construction and the clock reset, so
+	// construction kernels stay on the classic path and the overlapped
+	// timeline starts at t = 0 alongside the serialized clock.
+	env.E.EnablePipeline(cfg.PipelineDepth, cfg.CompressH2D)
 
 	res = RunResult{
 		Workload:   spec.Key,
@@ -309,10 +340,14 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			lastCap = cap1
 		}
 		prof.MarkEpoch()
+		if pe, ok := env.E.EpochPipeStats(); ok {
+			res.Pipe = append(res.Pipe, pe)
+		}
 		// Drop dead per-tensor address bookkeeping between epochs so the
 		// engine's maps track live tensors, not every activation ever seen.
 		env.E.Reset()
 	}
+	res.StreamLanes = env.E.StreamLanes()
 	res.Report = prof.Snapshot()
 	res.SparsityTimeline = prof.SparsityTimeline()
 	res.EpochSeconds = prof.EpochSeconds()
@@ -358,7 +393,16 @@ func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
 		dev := gpu.New(devCfg)
 		env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 		env.Rank, env.World = rank, world
-		return spec.Build(env, dataset, 1), env
+		env.Pipeline = models.PipelineConfig{
+			Depth:       cfg.PipelineDepth,
+			Workers:     cfg.LoaderWorkers,
+			CompressH2D: cfg.CompressH2D,
+		}
+		w := spec.Build(env, dataset, 1)
+		// Construction kernels stay on the classic path; the cluster resets
+		// the device clock before training, and the timeline starts at 0.
+		env.E.EnablePipeline(cfg.PipelineDepth, cfg.CompressH2D)
+		return w, env
 	}
 	worlds := []int{1}
 	for g := 2; g < cfg.GPUs; g *= 2 {

@@ -54,6 +54,20 @@ func TestSuiteGoldenDeterminism(t *testing.T) {
 	if par := run("parallel"); par != first {
 		t.Fatalf("parallel backend digest differs from serial:\n%s", firstDiff(first, par))
 	}
+
+	// The asynchronous input pipeline reorders *when* copies run on the
+	// overlapped timeline, never *what* executes: digests must stay
+	// byte-identical with prefetching and H2D compression on.
+	piped, err := RunSuite(RunConfig{
+		Epochs: 1, Seed: 7, SampledWarps: 256, Backend: "serial",
+		PipelineDepth: 4, CompressH2D: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd := suiteDigest(piped); pd != first {
+		t.Fatalf("pipelined suite digest differs from synchronous:\n%s", firstDiff(first, pd))
+	}
 }
 
 // firstDiff returns the first differing line pair for a readable failure.

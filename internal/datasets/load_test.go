@@ -155,3 +155,78 @@ func itoa(v int) string {
 	}
 	return string(b[i:])
 }
+
+// failingReader yields its payload, then fails: the mid-stream I/O error
+// (truncated download, yanked disk) every loader must surface, not panic on.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestLoadersSurfaceReaderErrors(t *testing.T) {
+	boom := &os.PathError{Op: "read", Path: "x", Err: os.ErrClosed}
+	if _, err := LoadEdgeList(&failingReader{data: []byte("0 1\n"), err: boom}, 3); err == nil {
+		t.Error("edge list: mid-stream read error lost")
+	}
+	if _, err := LoadFeatureTable(&failingReader{data: []byte("1 2 3\n"), err: boom}); err == nil {
+		t.Error("features: mid-stream read error lost")
+	}
+	if _, err := LoadLabels(&failingReader{data: []byte("0\n"), err: boom}); err == nil {
+		t.Error("labels: mid-stream read error lost")
+	}
+}
+
+// A single line longer than the scanner's buffer cap must come back as an
+// error (bufio.ErrTooLong), not a hang or a panic.
+func TestLoadersRejectOversizedLines(t *testing.T) {
+	huge := strings.Repeat("7 ", 1<<24) // ~32 MiB line, over the 16 MiB cap
+	if _, err := LoadEdgeList(strings.NewReader(huge), 8); err == nil {
+		t.Error("edge list: oversized line accepted")
+	}
+	if _, err := LoadFeatureTable(strings.NewReader(huge)); err == nil {
+		t.Error("features: oversized line accepted")
+	}
+}
+
+// Malformed numeric content across the loaders: every case errors cleanly.
+func TestLoadersRejectMalformedNumbers(t *testing.T) {
+	if _, err := LoadEdgeList(strings.NewReader("0 99999999999999999999\n"), 3); err == nil {
+		t.Error("edge list: int32 overflow accepted")
+	}
+	if _, err := LoadFeatureTable(strings.NewReader("1.5e\n")); err == nil {
+		t.Error("features: truncated float accepted")
+	}
+	if _, err := LoadLabels(strings.NewReader("99999999999999999999\n")); err == nil {
+		t.Error("labels: int32 overflow accepted")
+	}
+	if _, err := LoadLabels(strings.NewReader("1.5\n")); err == nil {
+		t.Error("labels: float label accepted")
+	}
+}
+
+// Negative labels are rejected at assembly time.
+func TestLoadCitationFilesRejectsNegativeLabels(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	edges := write("e.txt", "0 1\n1 0\n")
+	feats := write("f.txt", "1 0\n0 1\n")
+	neg := write("l.txt", "0\n-2\n")
+	if _, err := LoadCitationFiles("x", edges, feats, neg); err == nil {
+		t.Fatal("negative label must error")
+	}
+}

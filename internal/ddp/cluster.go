@@ -139,10 +139,9 @@ type replica struct {
 }
 
 func (r *replica) clock() float64 {
-	if dev := r.env.E.Device(); dev != nil {
-		return dev.ElapsedSeconds()
-	}
-	return 0
+	// SimClock is the overlapped timeline makespan when the input pipeline
+	// is active, the device's serialized clock otherwise.
+	return r.env.SimClock()
 }
 
 func (r *replica) transfer() float64 {
@@ -237,10 +236,19 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		// replica with the full batch. Gradients still synchronize — all
 		// cost, no compute reduction.
 		replicated = true
+		env0.Close() // stop the discarded replica's loader workers
 		w0, env0 = factory(0, 1)
 	}
 
 	reps := make([]*replica, c.world)
+	// Stop every replica's loader workers once the run is over.
+	defer func() {
+		for _, rep := range reps {
+			if rep != nil {
+				rep.env.Close()
+			}
+		}
+	}()
 	newRep := func(rank int, w models.Workload, env *models.Env) *replica {
 		rep := &replica{rank: rank, w: w, env: env}
 		rep.buckets = nn.BuildGradBuckets(w.Params(), c.cfg.BucketCapBytes)

@@ -153,11 +153,19 @@ func (d *Device) ResetClock() {
 	d.kernelCount = 0
 }
 
+// CopyCost returns the modeled PCIe time of moving bytes host-to-device:
+// a fixed DMA-setup latency plus the bandwidth term. The stream layer uses
+// it to time copy-engine slices whose wire size differs from the raw
+// payload (sparsity-compressed transfers).
+func (d *Device) CopyCost(bytes uint64) float64 {
+	const pcieLatency = 10e-6
+	return pcieLatency + float64(bytes)/(d.cfg.PCIeBandwidthGBps*1e9)
+}
+
 // CopyH2D models a host-to-device copy of bytes with the given fraction of
 // zero values, advancing simulated time by the PCIe transfer cost.
 func (d *Device) CopyH2D(name string, bytes uint64, zeroFraction float64) TransferStats {
-	const pcieLatency = 10e-6
-	secs := pcieLatency + float64(bytes)/(d.cfg.PCIeBandwidthGBps*1e9)
+	secs := d.CopyCost(bytes)
 	ts := TransferStats{
 		Name:         name,
 		Bytes:        bytes,

@@ -1,0 +1,266 @@
+package loader
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The sparsity codec models the paper's proposed data-movement
+// optimization: GNN input features are zero-heavy (Figures 7/8 measure up
+// to ~90% zeros crossing PCIe), so transfers compress well with trivial
+// zero-elision schemes. Two layouts cover the spectrum:
+//
+//   - bitmap: one presence bit per element plus the packed nonzero words —
+//     wins for scattered zeros at moderate-to-high zero fractions;
+//   - zero-run: alternating varint run lengths of zeros and literals —
+//     wins when zeros cluster into long runs (near-empty tensors,
+//     padded/dropout rows).
+//
+// The scheme is chosen from the transfer's measured zero fraction
+// (gpu.TransferStats.ZeroFraction drives the same statistic), with a raw
+// fallback so an encoded transfer is never larger than raw + header.
+//
+// "Zero" means IEEE bit pattern 0x00000000 only: negative zero is a
+// nonzero for codec purposes, which is what makes decoding bitwise exact.
+
+// Scheme identifies one encoding layout.
+type Scheme uint8
+
+const (
+	// SchemeRaw stores the float bits verbatim.
+	SchemeRaw Scheme = iota
+	// SchemeBitmap stores one presence bit per element + nonzero words.
+	SchemeBitmap
+	// SchemeZeroRun stores alternating zero-run/literal-run lengths.
+	SchemeZeroRun
+)
+
+// String returns the scheme mnemonic.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRaw:
+		return "raw"
+	case SchemeBitmap:
+		return "bitmap"
+	case SchemeZeroRun:
+		return "zero-run"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Codec thresholds: below minCompressZeroFrac the bitmap's bit-per-element
+// tax cannot pay for itself, so transfers stay raw; above runZeroFrac zeros
+// are so dominant that run-length encoding beats paying a bit for every
+// element.
+const (
+	minCompressZeroFrac = 0.25
+	runZeroFrac         = 0.95
+)
+
+// ChooseScheme picks the encoding for a transfer with the given measured
+// zero fraction.
+func ChooseScheme(zeroFrac float64) Scheme {
+	switch {
+	case zeroFrac < minCompressZeroFrac:
+		return SchemeRaw
+	case zeroFrac < runZeroFrac:
+		return SchemeBitmap
+	default:
+		return SchemeZeroRun
+	}
+}
+
+// uvarintLen returns the encoded size of v as a LEB128 varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// headerLen returns the encoded header size: scheme byte + element count.
+func headerLen(n int) int { return 1 + uvarintLen(uint64(n)) }
+
+// EncodedSize returns the byte size Encode would produce for data and the
+// scheme it would use, without allocating the encoding. The engine's copy
+// path calls this per transfer to model wire bytes; len(Encode(data)) is
+// property-tested to match.
+func EncodedSize(data []float32) (int, Scheme) {
+	n := len(data)
+	zeros := 0
+	for _, v := range data {
+		if math.Float32bits(v) == 0 {
+			zeros++
+		}
+	}
+	zf := 0.0
+	if n > 0 {
+		zf = float64(zeros) / float64(n)
+	}
+	scheme := ChooseScheme(zf)
+	raw := headerLen(n) + 4*n
+	switch scheme {
+	case SchemeBitmap:
+		size := headerLen(n) + (n+7)/8 + 4*(n-zeros)
+		if size >= raw {
+			return raw, SchemeRaw
+		}
+		return size, SchemeBitmap
+	case SchemeZeroRun:
+		size := headerLen(n) + zeroRunPayloadLen(data)
+		if size >= raw {
+			return raw, SchemeRaw
+		}
+		return size, SchemeZeroRun
+	default:
+		return raw, SchemeRaw
+	}
+}
+
+// zeroRunPayloadLen sizes the zero-run payload: pairs of (zero-run,
+// literal-run) varints with the literal words in between.
+func zeroRunPayloadLen(data []float32) int {
+	size, i := 0, 0
+	for i < len(data) {
+		z := i
+		for z < len(data) && math.Float32bits(data[z]) == 0 {
+			z++
+		}
+		l := z
+		for l < len(data) && math.Float32bits(data[l]) != 0 {
+			l++
+		}
+		size += uvarintLen(uint64(z-i)) + uvarintLen(uint64(l-z)) + 4*(l-z)
+		i = l
+	}
+	return size
+}
+
+// Encode compresses data with the scheme ChooseScheme selects for its zero
+// fraction (falling back to raw whenever that would be smaller). The
+// result decodes bitwise-identically with Decode.
+func Encode(data []float32) []byte {
+	size, scheme := EncodedSize(data)
+	out := make([]byte, 0, size)
+	out = append(out, byte(scheme))
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	switch scheme {
+	case SchemeRaw:
+		for _, v := range data {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+		}
+	case SchemeBitmap:
+		bits := make([]byte, (len(data)+7)/8)
+		for i, v := range data {
+			if math.Float32bits(v) != 0 {
+				bits[i/8] |= 1 << (i % 8)
+			}
+		}
+		out = append(out, bits...)
+		for _, v := range data {
+			if b := math.Float32bits(v); b != 0 {
+				out = binary.LittleEndian.AppendUint32(out, b)
+			}
+		}
+	case SchemeZeroRun:
+		i := 0
+		for i < len(data) {
+			z := i
+			for z < len(data) && math.Float32bits(data[z]) == 0 {
+				z++
+			}
+			l := z
+			for l < len(data) && math.Float32bits(data[l]) != 0 {
+				l++
+			}
+			out = binary.AppendUvarint(out, uint64(z-i))
+			out = binary.AppendUvarint(out, uint64(l-z))
+			for _, v := range data[z:l] {
+				out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+			}
+			i = l
+		}
+	}
+	return out
+}
+
+// Decode reverses Encode. maxElems bounds the declared element count so a
+// malformed header cannot force a huge allocation; every truncation or
+// inconsistency returns an error — Decode never panics on hostile input.
+func Decode(enc []byte, maxElems int) ([]float32, error) {
+	if len(enc) < 1 {
+		return nil, fmt.Errorf("loader: codec: empty input")
+	}
+	scheme := Scheme(enc[0])
+	n64, read := binary.Uvarint(enc[1:])
+	if read <= 0 {
+		return nil, fmt.Errorf("loader: codec: bad element count")
+	}
+	if n64 > uint64(maxElems) {
+		return nil, fmt.Errorf("loader: codec: declared %d elements exceeds limit %d", n64, maxElems)
+	}
+	n := int(n64)
+	payload := enc[1+read:]
+	out := make([]float32, n)
+	switch scheme {
+	case SchemeRaw:
+		if len(payload) < 4*n {
+			return nil, fmt.Errorf("loader: codec: raw payload truncated: %d bytes for %d elements", len(payload), n)
+		}
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+	case SchemeBitmap:
+		nb := (n + 7) / 8
+		if len(payload) < nb {
+			return nil, fmt.Errorf("loader: codec: bitmap truncated")
+		}
+		bits, words := payload[:nb], payload[nb:]
+		w := 0
+		for i := 0; i < n; i++ {
+			if bits[i/8]&(1<<(i%8)) == 0 {
+				continue
+			}
+			if len(words) < 4*(w+1) {
+				return nil, fmt.Errorf("loader: codec: bitmap words truncated at element %d", i)
+			}
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(words[4*w:]))
+			w++
+		}
+	case SchemeZeroRun:
+		i := 0
+		for i < n {
+			z, zr := binary.Uvarint(payload)
+			if zr <= 0 {
+				return nil, fmt.Errorf("loader: codec: zero-run length truncated at element %d", i)
+			}
+			payload = payload[zr:]
+			l, lr := binary.Uvarint(payload)
+			if lr <= 0 {
+				return nil, fmt.Errorf("loader: codec: literal-run length truncated at element %d", i)
+			}
+			payload = payload[lr:]
+			if z == 0 && l == 0 {
+				return nil, fmt.Errorf("loader: codec: empty run pair at element %d", i)
+			}
+			if z > uint64(n-i) || l > uint64(n-i)-z {
+				return nil, fmt.Errorf("loader: codec: runs overflow declared size %d", n)
+			}
+			i += int(z)
+			if len(payload) < 4*int(l) {
+				return nil, fmt.Errorf("loader: codec: literal words truncated at element %d", i)
+			}
+			for j := 0; j < int(l); j++ {
+				out[i+j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*j:]))
+			}
+			payload = payload[4*int(l):]
+			i += int(l)
+		}
+	default:
+		return nil, fmt.Errorf("loader: codec: unknown scheme %d", enc[0])
+	}
+	return out, nil
+}

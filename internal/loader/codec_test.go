@@ -1,0 +1,173 @@
+package loader
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparse builds n floats with the given independent zero probability.
+func sparse(rng *rand.Rand, n int, zeroProb float64) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		if rng.Float64() >= zeroProb {
+			out[i] = rng.Float32()*2 - 1
+		}
+	}
+	return out
+}
+
+func TestChooseSchemeBands(t *testing.T) {
+	if s := ChooseScheme(0.0); s != SchemeRaw {
+		t.Fatalf("dense -> %v, want raw", s)
+	}
+	if s := ChooseScheme(0.5); s != SchemeBitmap {
+		t.Fatalf("half-sparse -> %v, want bitmap", s)
+	}
+	if s := ChooseScheme(0.99); s != SchemeZeroRun {
+		t.Fatalf("near-empty -> %v, want zero-run", s)
+	}
+}
+
+func TestRoundTripAcrossSparsities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, zp := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.91, 0.99, 1} {
+		for _, n := range []int{0, 1, 7, 8, 9, 1000} {
+			data := sparse(rng, n, zp)
+			enc := Encode(data)
+			size, scheme := EncodedSize(data)
+			if len(enc) != size {
+				t.Fatalf("zp=%v n=%d: EncodedSize %d != len(Encode) %d (%v)", zp, n, size, len(enc), scheme)
+			}
+			dec, err := Decode(enc, n)
+			if err != nil {
+				t.Fatalf("zp=%v n=%d: %v", zp, n, err)
+			}
+			if len(dec) != len(data) {
+				t.Fatalf("zp=%v n=%d: decoded %d elements", zp, n, len(dec))
+			}
+			for i := range data {
+				if math.Float32bits(dec[i]) != math.Float32bits(data[i]) {
+					t.Fatalf("zp=%v n=%d: element %d differs: %x vs %x",
+						zp, n, i, math.Float32bits(dec[i]), math.Float32bits(data[i]))
+				}
+			}
+		}
+	}
+}
+
+// Negative zero has a nonzero bit pattern and must survive bitwise: a
+// codec that tested v == 0 numerically would decode it as +0.
+func TestNegativeZeroSurvives(t *testing.T) {
+	data := []float32{0, float32(math.Copysign(0, -1)), 0, 1.5}
+	dec, err := Decode(Encode(data), len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float32bits(dec[1]) != math.Float32bits(data[1]) {
+		t.Fatalf("-0 decoded as %x", math.Float32bits(dec[1]))
+	}
+}
+
+// NaN payload bits are data too.
+func TestNaNPayloadSurvives(t *testing.T) {
+	data := []float32{0, math.Float32frombits(0x7fc00123), 0, 0, 0, 0, 0, 0, 0, 0}
+	dec, err := Decode(Encode(data), len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float32bits(dec[1]) != 0x7fc00123 {
+		t.Fatalf("NaN payload lost: %x", math.Float32bits(dec[1]))
+	}
+}
+
+// An encoded transfer is never larger than raw + header, whatever the
+// content.
+func TestEncodedNeverBeatsRawByMuch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, zp := range []float64{0, 0.26, 0.5, 0.96} {
+		data := sparse(rng, 513, zp)
+		size, _ := EncodedSize(data)
+		if limit := headerLen(len(data)) + 4*len(data); size > limit {
+			t.Fatalf("zp=%v: encoded %d > raw cap %d", zp, size, limit)
+		}
+	}
+}
+
+// The ~91%-zero regime (ARGA/Cora features, Fig. 7) must compress >= 2x:
+// the acceptance bar for the -compress-h2d mode.
+func TestSparseFeaturesCompressTwofold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := sparse(rng, 2708*1433/10, 0.91)
+	size, scheme := EncodedSize(data)
+	if scheme == SchemeRaw {
+		t.Fatalf("91%%-zero data chose raw")
+	}
+	if ratio := float64(4*len(data)) / float64(size); ratio < 2 {
+		t.Fatalf("compression ratio %.2f < 2", ratio)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := Encode([]float32{0, 0, 0, 1, 2, 0, 0, 0})
+	cases := map[string][]byte{
+		"empty":           {},
+		"header only":     good[:1],
+		"truncated":       good[:len(good)-2],
+		"unknown scheme":  {0xff, 0x01, 0, 0, 0, 0},
+		"huge raw count":  {byte(SchemeRaw), 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"bitmap no words": {byte(SchemeBitmap), 8, 0xff},
+	}
+	for name, enc := range cases {
+		if dec, err := Decode(enc, 1<<20); err == nil {
+			t.Errorf("%s: decoded %d elements, want error", name, len(dec))
+		}
+	}
+	// Declared count above the caller's limit must be refused even when
+	// the payload would be consistent.
+	if _, err := Decode(good, 4); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+// FuzzSparseCodec drives the two codec guarantees: (1) any float32 slice
+// round-trips bitwise-identically through Encode/Decode, and (2) decoding
+// arbitrary bytes never panics and never yields more elements than the
+// declared raw size the caller allows.
+func FuzzSparseCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0x80, 0, 0, 0, 0x3f, 0x8c, 0xcc, 0xcd})
+	f.Add(Encode([]float32{0, 0, 1.25, 0, -3}))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Interpret the input as float32 words and round-trip them.
+		n := len(raw) / 4
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		enc := Encode(data)
+		if size, _ := EncodedSize(data); size != len(enc) {
+			t.Fatalf("EncodedSize %d != len(Encode) %d", size, len(enc))
+		}
+		dec, err := Decode(enc, n)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(dec) != n {
+			t.Fatalf("decoded %d elements, want %d", len(dec), n)
+		}
+		for i := range data {
+			if math.Float32bits(dec[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("element %d: %x != %x", i, math.Float32bits(dec[i]), math.Float32bits(data[i]))
+			}
+		}
+
+		// Treat the same input as a hostile encoding: must error or stay
+		// within the declared-size bound, never panic.
+		const limit = 1 << 16
+		if out, err := Decode(raw, limit); err == nil && len(out) > limit {
+			t.Fatalf("hostile decode yielded %d elements over limit %d", len(out), limit)
+		}
+	})
+}

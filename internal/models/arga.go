@@ -4,6 +4,7 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/graph"
+	"gnnmark/internal/loader"
 	"gnnmark/internal/nn"
 	"gnnmark/internal/tensor"
 )
@@ -30,6 +31,8 @@ type ARGA struct {
 	embed   int
 	recon   *tensor.Tensor // dense target adjacency (cached)
 	recones []int32
+
+	batches *loader.Loader // full-graph inputs, staged ahead when pipelined
 }
 
 // ARGAConfig holds ARGA's hyperparameters.
@@ -75,6 +78,20 @@ func NewARGA(env *Env, ds *datasets.Citation, cfg ARGAConfig) *ARGA {
 		}
 		a.recon.Set(1, dst, dst)
 	}
+
+	// Every iteration uploads the same full graph, so the producer is a
+	// trivially pure function of the batch index: a staged copy of the
+	// feature matrix plus the coalesce keys for the sparse adjacency.
+	a.batches = env.NewLoader(func(i int, b *loader.Batch) {
+		b.StageFrom("features", ds.Features)
+		edgeKeys := make([]int32, 0, adj.NNZ())
+		for dst := 0; dst < adj.Rows; dst++ {
+			for _, src := range adj.Neighbors(dst) {
+				edgeKeys = append(edgeKeys, int32(dst)*int32(adj.Cols)+src)
+			}
+		}
+		b.PutInts("edge_keys", edgeKeys)
+	})
 	return a
 }
 
@@ -106,23 +123,19 @@ func (a *ARGA) encode(t *autograd.Tape, x *autograd.Var) *autograd.Var {
 // TrainEpoch implements Workload: one full-graph reconstruction +
 // adversarial step.
 func (a *ARGA) TrainEpoch() float64 {
+	b := a.env.NextBatch(a.batches)
 	a.env.iter()
 	e := a.env.E
 	// The whole graph's features move host-to-device every iteration: the
 	// paper notes the input graph can occupy up to 90% of GPU memory.
-	e.CopyH2D("arga.features", a.ds.Features)
+	feats := b.Tensor("features")
+	e.CopyH2D("arga.features", feats)
 	// Sparse-adjacency coalesce: edge indices are sorted on-device before
 	// the SpMM pipeline consumes them, as torch sparse tensors do.
-	edgeKeys := make([]int32, 0, a.adj.NNZ())
-	for dst := 0; dst < a.adj.Rows; dst++ {
-		for _, src := range a.adj.Neighbors(dst) {
-			edgeKeys = append(edgeKeys, int32(dst)*int32(a.adj.Cols)+src)
-		}
-	}
-	e.SortInt32(edgeKeys)
+	e.SortInt32(b.Ints("edge_keys"))
 
 	t := autograd.NewTape(e)
-	z := a.encode(t, t.Const(a.ds.Features))
+	z := a.encode(t, t.Const(feats))
 
 	// Inner-product decoder: logits = Z Zᵀ against the adjacency target.
 	logits := t.MatMulTB(z, z)

@@ -6,6 +6,7 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/graph"
+	"gnnmark/internal/loader"
 	"gnnmark/internal/nn"
 	"gnnmark/internal/tensor"
 )
@@ -31,6 +32,8 @@ type KGNN struct {
 	globalBatch int
 	shardBatch  int
 	batches     []kgnnBatch
+
+	staging *loader.Loader // per-batch feature uploads, staged ahead
 }
 
 type kgnnBatch struct {
@@ -108,6 +111,14 @@ func NewKGNN(env *Env, ds *datasets.MoleculeSet, cfg KGNNConfig) *KGNN {
 	}
 	m.opt = nn.NewAdam(env.E, m.Params(), cfg.LR)
 	m.prepareBatches()
+
+	// Batch gi re-uploads pre-materialized batch gi % len: a staged copy of
+	// the node features plus the borrowed 2-tuple member index buffer.
+	m.staging = env.NewLoader(func(gi int, b *loader.Batch) {
+		src := &m.batches[gi%len(m.batches)]
+		b.StageFrom("features", src.features)
+		b.PutInts("tuples2", src.t2a)
+	})
 	return m
 }
 
@@ -234,13 +245,15 @@ func meanPool(t *autograd.Tape, h *autograd.Var, graphID []int32, numGraphs, wid
 func (m *KGNN) TrainEpoch() float64 {
 	var total float64
 	for _, b := range m.batches {
+		lb := m.env.NextBatch(m.staging)
 		m.env.iter()
 		e := m.env.E
-		e.CopyH2D("kgnn.features", b.features)
-		e.CopyH2DInt("kgnn.tuples2", b.t2a)
+		feats := lb.Tensor("features")
+		e.CopyH2D("kgnn.features", feats)
+		e.CopyH2DInt("kgnn.tuples2", lb.Ints("tuples2"))
 
 		t := autograd.NewTape(e)
-		h1 := t.ReLU(m.embed.Forward(t, t.Const(b.features)))
+		h1 := t.ReLU(m.embed.Forward(t, t.Const(feats)))
 		for _, c := range m.conv1 {
 			h1 = t.ReLU(t.SpMM(b.adj1, b.adj1T, c.Forward(t, h1)))
 		}

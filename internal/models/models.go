@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"gnnmark/internal/autograd"
+	"gnnmark/internal/loader"
 	"gnnmark/internal/nn"
 	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
@@ -60,11 +61,32 @@ type Env struct {
 	// mutate the parameters' gradients in place (gradient averaging).
 	OnGradients func(params []*autograd.Param, backwardSeconds float64)
 
+	// Pipeline configures the asynchronous input pipeline for workloads
+	// built against this Env: prefetch depth and worker count for their
+	// loaders, and whether H2D transfers are timed on sparsity-encoded
+	// bytes. Zero value means synchronous (inline) loading.
+	Pipeline PipelineConfig
+
 	// Host-phase accounting (internal/obs): the currently open phase's
 	// counter, its start stamp, and its span scope on the engine's track.
 	phaseCtr   *obs.Counter
 	phaseStart int64
 	phaseScope obs.Scope
+
+	// loaders tracks every loader built through NewLoader so Close can stop
+	// their workers.
+	loaders []*loader.Loader
+}
+
+// PipelineConfig selects the input-pipeline mode for an Env's workloads.
+type PipelineConfig struct {
+	// Depth is the number of batches staged ahead of compute (0 =
+	// synchronous inline loading).
+	Depth int
+	// Workers is the loader worker-goroutine count (0 = loader default).
+	Workers int
+	// CompressH2D times the copy engine on sparsity-encoded bytes.
+	CompressH2D bool
 }
 
 // NewEnv builds an Env with a fresh seeded RNG, in training mode.
@@ -153,17 +175,47 @@ func (env *Env) Step(t *autograd.Tape, loss *autograd.Var, params []*autograd.Pa
 	env.beginPhase(obs.PhaseDataLoad, phaseDataC)
 }
 
-// clock returns the attached device's simulated elapsed seconds (0 when the
-// engine runs deviceless).
+// clock returns the engine's simulated elapsed seconds — the overlapped
+// timeline makespan under the input pipeline, the device's serialized
+// clock otherwise (0 when the engine runs deviceless).
 func (env *Env) clock() float64 {
 	if env.E == nil {
 		return 0
 	}
-	dev := env.E.Device()
-	if dev == nil {
-		return 0
+	return env.E.SimClock()
+}
+
+// SimClock exposes clock for replica accounting (ddp.Cluster).
+func (env *Env) SimClock() float64 { return env.clock() }
+
+// NewLoader builds an unbounded input loader with this Env's pipeline
+// configuration and registers it for Close. Workloads call it at
+// construction time; with Pipeline.Depth 0 the loader materializes batches
+// inline and spawns no goroutines.
+func (env *Env) NewLoader(produce loader.Producer) *loader.Loader {
+	l := loader.New(loader.Config{Depth: env.Pipeline.Depth, Workers: env.Pipeline.Workers}, loader.Unbounded, produce)
+	env.loaders = append(env.loaders, l)
+	return l
+}
+
+// NextBatch pulls the next staged batch from l and marks the coming
+// iteration's uploads as pipeline-staged: their copies may start ahead of
+// compute on the copy-engine stream.
+func (env *Env) NextBatch(l *loader.Loader) *loader.Batch {
+	b := l.Next()
+	if env.E != nil {
+		env.E.MarkStaged()
 	}
-	return dev.ElapsedSeconds()
+	return b
+}
+
+// Close stops the workers of every loader built through NewLoader. Safe to
+// call more than once; a no-op for synchronous Envs.
+func (env *Env) Close() {
+	for _, l := range env.loaders {
+		l.Close()
+	}
+	env.loaders = nil
 }
 
 // Shard returns this replica's contiguous sub-range of the half-open global

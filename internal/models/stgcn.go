@@ -4,8 +4,8 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/graph"
+	"gnnmark/internal/loader"
 	"gnnmark/internal/nn"
-	"gnnmark/internal/tensor"
 )
 
 // STGCN is the Spatio-Temporal Graph Convolutional Network (Yu et al.) for
@@ -27,6 +27,8 @@ type STGCN struct {
 	window, horizon int
 	batchSize       int
 	starts          []int
+
+	batches *loader.Loader // window/target minibatches, staged ahead
 }
 
 type stBlock struct {
@@ -108,6 +110,28 @@ func NewSTGCN(env *Env, ds *datasets.Traffic, cfg STGCNConfig) *STGCN {
 	for i := 0; i < total; i++ {
 		m.starts = append(m.starts, env.RNG.Intn(maxStart))
 	}
+
+	// Batch gi of the endless sequence is epoch-iteration gi % iters: its
+	// window starts are fixed at construction, so assembling the (B,1,S,T)
+	// window and (B,S) target tensors is a pure function of the index.
+	iters := m.IterationsPerEpoch()
+	sensors := ds.Sensors
+	m.batches = env.NewLoader(func(gi int, b *loader.Batch) {
+		it := gi % iters
+		lo, hi := env.Shard(it*m.batchSize, (it+1)*m.batchSize)
+		bsz := hi - lo
+		x := b.Stage("window", bsz, 1, sensors, m.window)
+		y := b.Stage("target", bsz, sensors)
+		for bi := 0; bi < bsz; bi++ {
+			start := m.starts[lo+bi]
+			for si := 0; si < sensors; si++ {
+				for ti := 0; ti < m.window; ti++ {
+					x.Set(ds.Series.At(start+ti, si), bi, 0, si, ti)
+				}
+				y.Set(ds.Series.At(start+m.window+m.horizon-1, si), bi, si)
+			}
+		}
+	})
 	return m
 }
 
@@ -170,24 +194,15 @@ func (m *STGCN) TrainEpoch() float64 {
 	iters := m.IterationsPerEpoch()
 	sensors := m.ds.Sensors
 	for it := 0; it < iters; it++ {
+		// Executed DDP splits each global batch of window starts across
+		// replica ranks (inside the producer); single-device runs see
+		// [it*B, (it+1)*B) unchanged.
+		b := m.env.NextBatch(m.batches)
 		m.env.iter()
 		e := m.env.E
 
-		// Executed DDP splits each global batch of window starts across
-		// replica ranks; single-device runs see [it*B, (it+1)*B) unchanged.
-		lo, hi := m.env.Shard(it*m.batchSize, (it+1)*m.batchSize)
-		bsz := hi - lo
-		x := tensor.New(bsz, 1, sensors, m.window)
-		y := tensor.New(bsz, sensors)
-		for bi := 0; bi < bsz; bi++ {
-			start := m.starts[lo+bi]
-			for si := 0; si < sensors; si++ {
-				for ti := 0; ti < m.window; ti++ {
-					x.Set(m.ds.Series.At(start+ti, si), bi, 0, si, ti)
-				}
-				y.Set(m.ds.Series.At(start+m.window+m.horizon-1, si), bi, si)
-			}
-		}
+		x, y := b.Tensor("window"), b.Tensor("target")
+		bsz := x.Dim(0)
 		e.CopyH2D("stgcn.window", x)
 		e.CopyH2D("stgcn.target", y)
 

@@ -44,6 +44,11 @@ type Engine struct {
 	track    *obs.Track
 	opMark   int64
 	obsBytes int64
+
+	// pipe, when non-nil, routes kernels and input uploads through the
+	// two-stream overlap timeline (pipeline.go). The device's serialized
+	// clock still advances identically either way.
+	pipe *pipeState
 }
 
 // New returns an engine bound to dev (which may be nil) using the default
@@ -102,7 +107,10 @@ func (e *Engine) Reset() { e.releaseAll() }
 // the true per-iteration footprint, and the free lists hand the next
 // iteration the same addresses — keeping the cache model's view of reuse
 // intact.
-func (e *Engine) BeginIteration() { e.releaseAll() }
+func (e *Engine) BeginIteration() {
+	e.releaseAll()
+	e.pipeBeginIteration()
+}
 
 // releaseAll frees every tracked block in allocation order (deterministic)
 // and clears the bookkeeping maps.
@@ -186,7 +194,11 @@ func (e *Engine) launch(k *gpu.Kernel) {
 	if e.dev.Config().HalfPrecision {
 		k.Mix.Fp16, k.Mix.Fp32 = k.Mix.Fp32, 0
 	}
-	e.dev.Launch(k)
+	if e.pipe != nil {
+		e.pipe.compute.Launch(k)
+	} else {
+		e.dev.Launch(k)
+	}
 	e.recordLaunch(k.Name, k.Class.String())
 }
 
@@ -202,7 +214,11 @@ func (e *Engine) CopyH2D(name string, t *tensor.Tensor) {
 		start = obs.Nanos()
 	}
 	bytes := uint64(t.Size() * e.fpElem())
-	e.dev.CopyH2D(name, bytes, t.ZeroFraction())
+	if e.pipe != nil {
+		e.pipeCopy(name, bytes, e.encodedBytesOf(t), t.ZeroFraction())
+	} else {
+		e.dev.CopyH2D(name, bytes, t.ZeroFraction())
+	}
 	e.recordH2D(name, start, int64(bytes))
 }
 
@@ -225,6 +241,13 @@ func (e *Engine) CopyH2DInt(name string, idx []int32) {
 	if len(idx) > 0 {
 		zf = float64(zero) / float64(len(idx))
 	}
-	e.dev.CopyH2D(name, uint64(len(idx)*4), zf)
-	e.recordH2D(name, start, int64(len(idx)*4))
+	bytes := uint64(len(idx) * 4)
+	if e.pipe != nil {
+		// Index buffers skip the sparsity codec (it targets zero-heavy
+		// float features); they still ride the copy-engine stream.
+		e.pipeCopy(name, bytes, bytes, zf)
+	} else {
+		e.dev.CopyH2D(name, bytes, zf)
+	}
+	e.recordH2D(name, start, int64(bytes))
 }

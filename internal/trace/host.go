@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gnnmark/internal/obs"
+	"gnnmark/internal/stream"
 )
 
 // HostPID is the trace-event process id of the host-side span rows. The
@@ -46,6 +47,45 @@ func HostEvents() []Event {
 				PID:  HostPID,
 				TID:  tr.ID,
 			})
+		}
+	}
+	return events
+}
+
+// streamTIDBase offsets stream-lane thread ids past the per-op-class device
+// rows (tid 0 = transfers, class+1 = kernels).
+const streamTIDBase = 100
+
+// StreamLaneEvents converts the overlapped-timeline stream lanes into
+// Chrome trace events under DevicePID: a named thread row per stream
+// (compute, copy engine) at tids >= streamTIDBase, one "X" slice per
+// enqueued item, and a stream_slices_dropped metadata event for lanes that
+// hit the slice cap. Lane times are simulated seconds from the timeline
+// origin, so the rows line up with the serialized device rows.
+func StreamLaneEvents(lanes []stream.Lane) []Event {
+	var events []Event
+	for i, lane := range lanes {
+		tid := streamTIDBase + i
+		events = append(events, metaEvent("thread_name", DevicePID, tid,
+			map[string]string{"name": "stream: " + lane.Name}))
+		if lane.Dropped > 0 {
+			events = append(events, metaEvent("stream_slices_dropped", DevicePID, tid,
+				map[string]string{"count": fmt.Sprintf("%d", lane.Dropped)}))
+		}
+		for _, sl := range lane.Slices {
+			ev := Event{
+				Name: sl.Name,
+				Cat:  sl.Cat,
+				Ph:   "X",
+				TS:   sl.Start * 1e6, // sec -> us
+				Dur:  sl.Dur * 1e6,
+				PID:  DevicePID,
+				TID:  tid,
+			}
+			if sl.Bytes > 0 {
+				ev.Args = map[string]string{"wire_bytes": fmt.Sprintf("%d", sl.Bytes)}
+			}
+			events = append(events, ev)
 		}
 	}
 	return events
