@@ -2,38 +2,102 @@
 // workload's training epoch: the tool used to calibrate the kernel recipes
 // against the paper's figures, kept for model debugging.
 //
-// Usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>
+// With -gpus N (N > 1) it instead runs the executed graph-partitioned plane
+// (ARGA or DGCN) and writes a chrome://tracing timeline in which every
+// simulated GPU's compute and halo-exchange streams appear as their own
+// named threads, so exposed communication is visible as compute-lane gaps.
+//
+// Usage:
+//
+//	gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>
+//	gnnmark-trace -gpus 4 -out halo.json [-overlap=false] <ARGA|DGCN>
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"gnnmark/internal/core"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/ops"
+	"gnnmark/internal/stream"
+	"gnnmark/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: gnnmark-trace <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>")
+	gpus := flag.Int("gpus", 1, "simulated GPU count; >1 runs the partitioned plane and writes a halo-lane trace")
+	out := flag.String("out", "partitioned-trace.json", "trace output path (partitioned mode)")
+	overlap := flag.Bool("overlap", true, "overlap halo exchange with interior compute (partitioned mode)")
+	epochs := flag.Int("epochs", 1, "training epochs (partitioned mode)")
+	warps := flag.Int("warps", 2048, "max sampled warps per kernel")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: gnnmark-trace [-gpus N -out FILE] <PSAGE|STGCN|DGCN|GW|KGNNL|KGNNH|ARGA|TLSTM>")
 		os.Exit(2)
 	}
+	key := flag.Arg(0)
+	if *gpus > 1 {
+		partitionedTrace(key, *gpus, *epochs, *warps, *seed, *overlap, *out)
+		return
+	}
+	kernelBreakdown(key, *warps, *seed)
+}
+
+// partitionedTrace trains the workload on the executed partitioned plane and
+// writes every rank's stream lanes as named threads of the device process.
+func partitionedTrace(key string, gpus, epochs, warps int, seed int64, overlap bool, out string) {
+	res, err := core.RunPartitioned(core.RunConfig{
+		Workload: key, GPUs: gpus, Epochs: epochs,
+		SampledWarps: warps, Seed: seed, Overlap: overlap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark-trace:", err)
+		os.Exit(1)
+	}
+	var lanes []stream.Lane
+	for r, ls := range res.Lanes {
+		for _, l := range ls {
+			l.Name = fmt.Sprintf("gpu%d %s", r, l.Name)
+			lanes = append(lanes, l)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events := trace.StreamLaneEvents(lanes)
+	if err := trace.WriteEvents(f, events); err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s x%d partitioned: wrote %d lane events (%d lanes) to %s (open in chrome://tracing)\n",
+		key, gpus, len(events), len(lanes), out)
+	fmt.Printf("epoch seconds %v, halo exposed %.3f ms / hidden %.3f ms\n",
+		res.EpochSeconds, 1e3*res.ExposedHaloSeconds, 1e3*res.OverlappedHaloSeconds)
+}
+
+// kernelBreakdown is the classic single-device calibration mode.
+func kernelBreakdown(key string, warps int, seed int64) {
 	cfg := gpu.V100()
-	cfg.MaxSampledWarps = 2048
+	cfg.MaxSampledWarps = warps
 	dev := gpu.New(cfg)
 	times := map[string]float64{}
 	counts := map[string]int{}
 	dev.Subscribe(func(ks gpu.KernelStats) {
-		key := fmt.Sprintf("%-12s %s", ks.Class, ks.Name)
-		times[key] += ks.Seconds
-		counts[key]++
+		k := fmt.Sprintf("%-12s %s", ks.Class, ks.Name)
+		times[k] += ks.Seconds
+		counts[k]++
 	})
-	env := models.NewEnv(ops.New(dev), 1)
+	env := models.NewEnv(ops.New(dev), seed)
 	var w models.Workload
-	switch os.Args[1] {
+	switch key {
 	case "STGCN":
 		w = models.NewSTGCN(env, datasets.METRLA(env.RNG), models.STGCNConfig{})
 	case "PSAGE":
@@ -51,7 +115,7 @@ func main() {
 	case "TLSTM":
 		w = models.NewTLSTM(env, datasets.SST(env.RNG), models.TLSTMConfig{})
 	default:
-		fmt.Fprintln(os.Stderr, "gnnmark-trace: unknown workload", os.Args[1])
+		fmt.Fprintln(os.Stderr, "gnnmark-trace: unknown workload", key)
 		os.Exit(2)
 	}
 	// Ignore construction-time kernels; trace one training epoch.

@@ -59,6 +59,8 @@ func main() {
 	maxEpochs := fs.Int("max-epochs", 50, "epoch cutoff for the ttt command")
 	backendName := fs.String("backend", "serial", "CPU numerics backend: serial or parallel (identical results; parallel is faster on large workloads)")
 	gpus := fs.Int("gpus", 1, "simulated GPU count for executed DDP training (run command; >1 trains replicas with bucketed ring-allreduce)")
+	parallelism := fs.String("parallelism", "ddp", "multi-GPU execution plane for the run command: ddp (replicated model, sharded batches) or partitioned (one graph partition per GPU with halo exchange; ARGA and DGCN only)")
+	overlap := fs.Bool("overlap", true, "overlap halo exchange with interior compute (partitioned plane; false serializes every exchange)")
 	hbmGB := fs.Float64("hbm-gb", 0, "simulated device-memory budget in GiB (0 = GPU preset capacity; too small fails with a simulated OOM report)")
 	pipelineDepth := fs.Int("pipeline-depth", 0, "asynchronous input pipeline prefetch depth (0 = synchronous loading; numerics are identical either way)")
 	loaderWorkers := fs.Int("loader-workers", 0, "input-loader worker goroutines (0 = default; affects host scheduling only)")
@@ -67,6 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := core.RunConfig{Epochs: *epochs, Seed: *seed, SampledWarps: *warps, GPU: *gpuName, Backend: *backendName, GPUs: *gpus, HBMGB: *hbmGB,
+		Parallelism: *parallelism, Overlap: *overlap,
 		PipelineDepth: *pipelineDepth, LoaderWorkers: *loaderWorkers, CompressH2D: *compressH2D}
 	if *metricsOut != "" || *hostTrace != "" {
 		obs.Enable()
@@ -103,6 +106,15 @@ func main() {
 			// merged timeline carries both planes; under DDP (many devices)
 			// only the host plane is written.
 			cfg.OnDevice = func(dev *gpu.Device) { rec = trace.Attach(dev, 0) }
+		}
+		if cfg.GPUs > 1 && cfg.Parallelism == "partitioned" {
+			res, err := core.RunPartitioned(cfg)
+			fail(err)
+			fmt.Print(bench.FormatPartitionedRun(*workload, res))
+			// Halo-exchange lanes render as named threads beside the host
+			// spans: one "gpuN compute" / "gpuN halo" pair per rank.
+			writeObsOutputs(*metricsOut, *hostTrace, nil, rankLanes(res.Lanes))
+			return
 		}
 		if cfg.GPUs > 1 {
 			res, err := core.RunDDP(cfg)
@@ -188,6 +200,13 @@ func main() {
 		res, err := bench.PartitionedARGA(cfg)
 		fail(err)
 		fmt.Print(bench.FormatPartitioned(res))
+	case "figpart":
+		if cfg.GPUs <= 1 {
+			cfg.GPUs = 4
+		}
+		res, err := bench.FigPart(cfg)
+		fail(err)
+		fmt.Print(bench.FormatFigPart(res))
 	case "sweep":
 		var vals []int
 		for _, f := range strings.Split(*sweepVals, ",") {
@@ -345,6 +364,20 @@ func writeObsOutputs(metricsPath, tracePath string, rec *trace.Recorder, lanes [
 	}
 }
 
+// rankLanes flattens per-rank stream lanes into one list with rank-prefixed
+// names, so every simulated GPU's compute and halo streams appear as their
+// own named threads in the Chrome trace.
+func rankLanes(lanes [][]stream.Lane) []stream.Lane {
+	var out []stream.Lane
+	for r, ls := range lanes {
+		for _, l := range ls {
+			l.Name = fmt.Sprintf("gpu%d %s", r, l.Name)
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 func labelOf(sr core.SuiteRun) string {
 	if sr.Workload == "PSAGE" {
 		return sr.Workload + "(" + sr.Dataset + ")"
@@ -425,11 +458,13 @@ commands:
   ttt              MLPerf-style time-to-train (-workload, -target, -max-epochs)
   roofline         per-operation roofline placement (-workload, -gpu)
   sweep            hyperparameter sweep (-sweep WORKLOAD/param -values a,b,c)
-  partitioned      ROC-style partitioned full-graph ARGA scaling what-if
+  partitioned      ROC-style partitioned full-graph ARGA scaling what-if (analytical)
+  figpart          executed DDP vs executed graph-partitioned training: scaling, comm volume, edge-cut sweep (-gpus)
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
 flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N  -hbm-gb N
+       -parallelism ddp|partitioned  -overlap=true|false  (run: multi-GPU execution plane; partitioned = one graph part per GPU, halo exchange)
        -pipeline-depth N  -loader-workers N  -compress-h2d  (asynchronous input pipeline; identical numerics)
        -trace FILE  -metrics-out FILE  -host-trace FILE  (run: device trace / host metrics JSON / merged host+device trace)`)
 }

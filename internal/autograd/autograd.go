@@ -83,6 +83,21 @@ func (t *Tape) node(val *tensor.Tensor, needGrad bool, back func(dy *tensor.Tens
 	return v
 }
 
+// Node registers a custom operation result on the tape: val is the
+// forward output, back (optional) receives dLoss/dval during Backward.
+// This is the extension point for operations composed outside this
+// package — e.g. the partitioned-training collectives (halo exchange,
+// all-gather) whose backward pass must route gradients across workers.
+func (t *Tape) Node(val *tensor.Tensor, needGrad bool, back func(dy *tensor.Tensor)) *Var {
+	return t.node(val, needGrad, back)
+}
+
+// Accum adds dy into v's gradient, allocating it on first touch. Custom
+// backward closures registered via Node use it to deposit gradients into
+// upstream variables (Backward's reverse-order walk guarantees the
+// upstream node's own backward has not run yet).
+func (v *Var) Accum(dy *tensor.Tensor) { v.accum(dy) }
+
 // Const introduces a non-trainable input (features, targets).
 func (t *Tape) Const(val *tensor.Tensor) *Var {
 	return t.node(val, false, nil)

@@ -228,7 +228,7 @@ func PartitionedARGA(cfg core.RunConfig) ([]ddp.PartitionedResult, error) {
 	env := models.NewEnv(ops.New(gpu.New(gpu.V100())), seed)
 	ds := datasets.NewCitation(env.RNG, "cora")
 	// Two GCN layers propagate features; one iteration per epoch.
-	return ddp.PartitionedFullGraph(ds.Adj, ds.Features.Dim(1), 2,
+	return ddp.PartitionedFullGraphAnalytical(ds.Adj, ds.Features.Dim(1), 2,
 		epoch, 1, ddp.DefaultComm(), []int{1, 2, 4}), nil
 }
 

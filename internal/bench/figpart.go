@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/ddp"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/partitioned"
+	"gnnmark/internal/vmem"
+)
+
+// FigPartWorkload holds one workload's executed-DDP vs executed-partitioned
+// comparison across world sizes, plus the edge-cut sensitivity sweep.
+type FigPartWorkload struct {
+	Workload string
+	// DDP holds the executed data-parallel strong-scaling series. For
+	// full-graph workloads (ARGA) the cluster replicates the dataset — the
+	// paper's "DDP cannot be used" case — so its epoch time does not scale.
+	DDP []ddp.Result
+	// Part holds the executed graph-partitioned series over the same worlds.
+	Part []*partitioned.Result
+}
+
+// FigPartCut is one labeling's point in the edge-cut sensitivity sweep.
+type FigPartCut struct {
+	Labeling  string
+	EdgeCut   int
+	HaloBytes uint64
+	Seconds   float64
+}
+
+// FigPartResult is everything the figpart command prints.
+type FigPartResult struct {
+	Workloads []FigPartWorkload
+	// Cuts compares partition labelings at the largest world size for ARGA:
+	// BFS grouping (locality-aware) vs a uniform random labeling.
+	Cuts      []FigPartCut
+	CutWorld  int
+	CutEpochs int
+}
+
+// figPartWorlds mirrors RunDDP's doubling series up to max.
+func figPartWorlds(max int) []int {
+	worlds := []int{1}
+	for g := 2; g < max; g *= 2 {
+		worlds = append(worlds, g)
+	}
+	if max > 1 {
+		worlds = append(worlds, max)
+	}
+	return worlds
+}
+
+// FigPart runs the partitioned-execution study: for DGCN (batched graphs,
+// DDP-compatible) and ARGA (full-graph, DDP must replicate), train with the
+// executed DDP plane and the executed partitioned plane at each world size,
+// then sweep the partition labeling to expose the edge-cut sensitivity of
+// halo traffic. cfg.GPUs sets the largest world.
+func FigPart(cfg core.RunConfig) (*FigPartResult, error) {
+	out := &FigPartResult{}
+	for _, key := range []string{"DGCN", "ARGA"} {
+		c := cfg
+		c.Workload = key
+		c.Dataset = ""
+		ddpRes, err := core.RunDDP(c)
+		if err != nil {
+			return nil, fmt.Errorf("figpart: DDP %s: %w", key, err)
+		}
+		wl := FigPartWorkload{Workload: key, DDP: ddpRes}
+		for _, world := range figPartWorlds(cfg.GPUs) {
+			pc := c
+			pc.GPUs = world
+			pc.Overlap = true
+			pr, err := core.RunPartitioned(pc)
+			if err != nil {
+				return nil, fmt.Errorf("figpart: partitioned %s x%d: %w", key, world, err)
+			}
+			wl.Part = append(wl.Part, pr)
+		}
+		out.Workloads = append(out.Workloads, wl)
+	}
+
+	// Edge-cut sensitivity on the full-graph workload: same training run,
+	// different node labeling. Halo traffic tracks the cut directly.
+	cutCfg := cfg
+	cutCfg.Workload = "ARGA"
+	cutCfg.Dataset = ""
+	cutCfg.Epochs = 1
+	out.CutWorld = cfg.GPUs
+	out.CutEpochs = cutCfg.Epochs
+	for _, lab := range []struct {
+		name string
+		fn   func(g *graph.CSR, k int) ([]int32, int)
+	}{
+		{"bfs", nil}, // nil = graph.PartitionBFS default
+		{"random", func(g *graph.CSR, k int) ([]int32, int) {
+			return graph.PartitionRandom(g, k, 7)
+		}},
+	} {
+		factory, err := core.PartitionedFactory(cutCfg, lab.fn)
+		if err != nil {
+			return nil, err
+		}
+		res, err := partitioned.Train(factory, cfg.GPUs, cutCfg.Epochs,
+			partitioned.Config{Comm: ddp.DefaultComm(), Overlap: true})
+		if err != nil {
+			return nil, fmt.Errorf("figpart: %s labeling: %w", lab.name, err)
+		}
+		out.Cuts = append(out.Cuts, FigPartCut{
+			Labeling:  lab.name,
+			EdgeCut:   res.EdgeCut,
+			HaloBytes: res.HaloBytes,
+			Seconds:   res.TotalSeconds,
+		})
+	}
+	return out, nil
+}
+
+// ddpEpochComm is the per-epoch wire volume one DDP replica pushes around
+// the ring: 2(G-1)/G of the gradient payload per iteration.
+func ddpEpochComm(r ddp.Result) uint64 {
+	if r.GPUs <= 1 {
+		return 0
+	}
+	ring := 2 * uint64(r.GPUs-1) * r.GradBytesPerIt / uint64(r.GPUs)
+	return ring * uint64(r.Iterations)
+}
+
+// FormatFigPart renders the partitioned-execution study.
+func FormatFigPart(res *FigPartResult) string {
+	var b strings.Builder
+	b.WriteString("figpart: executed DDP vs executed graph partitioning (overlapped halo exchange)\n")
+	for _, wl := range res.Workloads {
+		fmt.Fprintf(&b, "\n%s:\n", wl.Workload)
+		fmt.Fprintf(&b, "  %5s  %14s  %12s  %14s  %12s  %9s  %8s\n",
+			"world", "ddp epoch ms", "ddp comm/ep", "part epoch ms", "halo/ep", "edge cut", "speedup")
+		base := 0.0
+		for i, pr := range wl.Part {
+			if i == 0 && len(pr.EpochSeconds) > 0 {
+				base = pr.EpochSeconds[0]
+			}
+			ddpMS, ddpComm := "-", "-"
+			for _, dr := range wl.DDP {
+				if dr.GPUs == pr.GPUs {
+					note := ""
+					if dr.Replicated {
+						note = "*"
+					}
+					ddpMS = fmt.Sprintf("%.3f%s", 1e3*dr.EpochSeconds, note)
+					ddpComm = vmem.FormatBytes(int64(ddpEpochComm(dr)))
+				}
+			}
+			partEp := pr.TotalSeconds / float64(max(1, pr.Epochs))
+			speedup := 0.0
+			if partEp > 0 {
+				speedup = base / partEp
+			}
+			fmt.Fprintf(&b, "  %5d  %14s  %12s  %14.3f  %12s  %9d  %7.2fx\n",
+				pr.GPUs, ddpMS, ddpComm, 1e3*partEp,
+				vmem.FormatBytes(int64(pr.HaloBytes/uint64(max(1, pr.Epochs)))),
+				pr.EdgeCut, speedup)
+		}
+		// Capacity: partitioning shards the footprint; DDP replicates it.
+		if n := len(wl.Part); n > 1 {
+			p0, pn := wl.Part[0], wl.Part[n-1]
+			if len(p0.PeakBytes) > 0 && len(pn.PeakBytes) > 0 {
+				worst := pn.PeakBytes[0]
+				for _, p := range pn.PeakBytes {
+					if p > worst {
+						worst = p
+					}
+				}
+				fmt.Fprintf(&b, "  peak device memory: %s on 1 GPU -> %s per GPU %d-way partitioned (DDP replicates the full %s)\n",
+					vmem.FormatBytes(p0.PeakBytes[0]), vmem.FormatBytes(worst),
+					pn.GPUs, vmem.FormatBytes(p0.PeakBytes[0]))
+			}
+		}
+	}
+	if len(res.Cuts) > 0 {
+		fmt.Fprintf(&b, "\nARGA edge-cut sensitivity (%d-way, %d epoch):\n", res.CutWorld, res.CutEpochs)
+		for _, c := range res.Cuts {
+			fmt.Fprintf(&b, "  %-7s labeling: cut %6d edges, halo %10s, epoch %.3f ms\n",
+				c.Labeling, c.EdgeCut, vmem.FormatBytes(int64(c.HaloBytes)), 1e3*c.Seconds)
+		}
+	}
+	b.WriteString("\n* = replicated (sampler not DDP-compatible: the paper's full-graph exclusion)\n")
+	return b.String()
+}
+
+// FormatPartitionedRun renders one executed partitioned training run for the
+// run command's -parallelism=partitioned path.
+func FormatPartitionedRun(workload string, res *partitioned.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s executed partitioned training on %d simulated GPUs\n", workload, res.GPUs)
+	fmt.Fprintf(&b, "epoch losses: %v\n", res.EpochLosses)
+	fmt.Fprintf(&b, "epoch seconds (simulated): %v\n", res.EpochSeconds)
+	fmt.Fprintf(&b, "compute %.3f ms, halo %.3f ms (%.3f exposed, %.3f hidden), grad sync %.3f ms\n",
+		1e3*res.ComputeSeconds, 1e3*res.HaloSeconds,
+		1e3*res.ExposedHaloSeconds, 1e3*res.OverlappedHaloSeconds, 1e3*res.GradSyncSeconds)
+	fmt.Fprintf(&b, "halo traffic %s total (edge cut %d), gradient payload %s per iteration\n",
+		vmem.FormatBytes(int64(res.HaloBytes)), res.EdgeCut, vmem.FormatBytes(int64(res.GradBytesPerIt)))
+	for r, info := range res.Infos {
+		peak := int64(0)
+		if r < len(res.PeakBytes) {
+			peak = res.PeakBytes[r]
+		}
+		fmt.Fprintf(&b, "  gpu%d: %d owned + %d halo nodes, boundary %.1f%%, peak mem %s\n",
+			r, info.OwnedNodes, info.HaloNodes, 100*info.BoundaryFraction, vmem.FormatBytes(peak))
+	}
+	return b.String()
+}

@@ -174,6 +174,14 @@ type RunConfig struct {
 	// simulated devices, each training a replica on its batch shard with
 	// bucketed ring-allreduce gradient averaging. 0 or 1 = single device.
 	GPUs int
+	// Parallelism selects the executed multi-GPU strategy for GPUs > 1:
+	// "ddp" (default, RunDDP's replicated model + sharded batches) or
+	// "partitioned" (RunPartitioned's one-graph-part-per-GPU plane with
+	// halo exchange; ARGA and DGCN only).
+	Parallelism string
+	// Overlap enables the boundary-first overlapped halo exchange under
+	// the partitioned plane (ignored by DDP).
+	Overlap bool
 	// HBMGB overrides the simulated device-memory budget in GiB (0 = the
 	// GPU preset's capacity, 16 GiB on the V100). Runs whose footprint
 	// exceeds the budget return a *vmem.OOMError naming the failing kernel

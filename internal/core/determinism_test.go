@@ -1,11 +1,15 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 	"testing"
 
 	"gnnmark/internal/gpu"
+	"gnnmark/internal/partitioned"
 )
 
 // suiteDigest flattens the profile outputs PR 1's bitwise-equivalence
@@ -67,6 +71,56 @@ func TestSuiteGoldenDeterminism(t *testing.T) {
 	}
 	if pd := suiteDigest(piped); pd != first {
 		t.Fatalf("pipelined suite digest differs from synchronous:\n%s", firstDiff(first, pd))
+	}
+}
+
+// partitionedDigest flattens an executed partitioned run into an exact
+// string: losses and timings as %x floats, every rank-0 parameter value
+// folded through FNV-1a, plus the traffic accounting. Any halo-ordering
+// regression (map iteration, racy combine order) shifts the digest.
+func partitionedDigest(res *partitioned.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gpus=%d losses=[", res.GPUs)
+	for _, l := range res.EpochLosses {
+		fmt.Fprintf(&b, "%x ", l)
+	}
+	fmt.Fprintf(&b, "] secs=[")
+	for _, s := range res.EpochSeconds {
+		fmt.Fprintf(&b, "%x ", s)
+	}
+	fmt.Fprintf(&b, "] halo=%d cut=%d grad=%d\n", res.HaloBytes, res.EdgeCut, res.GradBytesPerIt)
+	h := fnv.New64a()
+	for _, p := range res.Workers[0].Params() {
+		for _, v := range p.Value.Data() {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			h.Write(buf[:])
+		}
+	}
+	fmt.Fprintf(&b, "params=%016x\n", h.Sum64())
+	return b.String()
+}
+
+// TestPartitionedGoldenDeterminism pins the partitioned plane the same way:
+// two identical executed 2-way ARGA runs must produce byte-identical losses,
+// simulated timings, and parameter bits.
+func TestPartitionedGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executed partitioned run is slow")
+	}
+	run := func() string {
+		res, err := RunPartitioned(RunConfig{
+			Workload: "ARGA", GPUs: 2, Epochs: 1,
+			Seed: 7, SampledWarps: 256, Overlap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return partitionedDigest(res)
+	}
+	first := run()
+	if again := run(); again != first {
+		t.Fatalf("partitioned digest not reproducible:\n%s", firstDiff(first, again))
 	}
 }
 

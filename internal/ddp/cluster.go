@@ -2,9 +2,9 @@ package ddp
 
 import (
 	"fmt"
-	"sync"
 
 	"gnnmark/internal/autograd"
+	"gnnmark/internal/exec"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
 	"gnnmark/internal/obs"
@@ -29,6 +29,10 @@ var (
 // one goroutine each — and really averages their gradients through a
 // bucketed ring-allreduce, so the multi-GPU result is a trained model whose
 // weights can be checked against a single-device run.
+//
+// The worker lifecycle, lockstep barrier, and abort machinery live in
+// internal/exec (shared with the graph-partitioned strategy); this file is
+// the data-parallel strategy layered on that core.
 //
 // Per iteration, each replica trains its rank's batch shard (models.Env.Shard)
 // and its backward pass ends in the Env.OnGradients hook, where the replica
@@ -125,47 +129,23 @@ func NewCluster(world int, cfg ClusterConfig) *Cluster {
 
 // replica is the per-goroutine state of one simulated GPU.
 type replica struct {
-	rank    int
+	exec.Peer
 	w       models.Workload
 	env     *models.Env
 	buckets []nn.GradBucket
 	flat    [][]float32 // per-bucket flattened local gradients
-	// lastClock is the device clock at the previous gradient sync, so the
-	// hook can attribute compute time per iteration.
-	lastClock float64
-	// lastTransfer tracks TransferSeconds for replicated-input accounting.
-	lastTransfer float64
-	epochLosses  []float64
+
+	epochLosses []float64
 }
 
-func (r *replica) clock() float64 {
-	// SimClock is the overlapped timeline makespan when the input pipeline
-	// is active, the device's serialized clock otherwise.
-	return r.env.SimClock()
-}
-
-func (r *replica) transfer() float64 {
-	if dev := r.env.E.Device(); dev != nil {
-		return dev.TransferSeconds()
-	}
-	return 0
-}
-
-// clusterAbort unwinds a replica goroutine after another replica failed.
-type clusterAbort struct{ err error }
-
-// run is the shared lockstep state; its mutex orders every cross-replica
-// access (gradient buffers included), which is what makes the leader's
-// writes into blocked replicas' tensors race-free.
+// run is the data-parallel strategy state layered on the exec core; the
+// group's mutex orders every cross-replica access (gradient buffers
+// included), which is what makes the leader's writes into blocked
+// replicas' tensors race-free.
 type run struct {
 	c    *Cluster
+	g    *exec.Group
 	reps []*replica
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	gen     int
-	err     error
 
 	// Per-iteration data, indexed by rank, valid when the barrier is full.
 	backward []float64
@@ -182,43 +162,10 @@ type run struct {
 	losses       []float64
 	scratch      []float32 // reduce buffer, sized to largest bucket
 
-	// Host observability (leader-written under mu).
+	// Host observability (leader-written under the group mutex).
 	track      *obs.Track // spans of the leader's reduction work
-	lastCap    obs.PhaseCapture
+	phases     *exec.PhaseMeter
 	hostPhases []obs.PhaseBreakdown
-}
-
-// barrier blocks until all replicas arrive; the last arriver runs leader()
-// under the lock before releasing the others. Returns the first recorded
-// error (and leader is skipped once a replica has failed).
-func (st *run) barrier(leader func()) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.err != nil {
-		return st.err
-	}
-	st.arrived++
-	if st.arrived == len(st.reps) {
-		leader()
-		st.arrived = 0
-		st.gen++
-		st.cond.Broadcast()
-		return st.err
-	}
-	gen := st.gen
-	for st.gen == gen && st.err == nil {
-		st.cond.Wait()
-	}
-	return st.err
-}
-
-func (st *run) fail(err error) {
-	st.mu.Lock()
-	if st.err == nil {
-		st.err = err
-	}
-	st.cond.Broadcast()
-	st.mu.Unlock()
 }
 
 // Run trains `epochs` epochs of `world` replicas built by factory and
@@ -250,7 +197,14 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		}
 	}()
 	newRep := func(rank int, w models.Workload, env *models.Env) *replica {
-		rep := &replica{rank: rank, w: w, env: env}
+		rep := &replica{w: w, env: env}
+		rep.Rank = rank
+		// SimClock is the overlapped timeline makespan when the input
+		// pipeline is active, the device's serialized clock otherwise.
+		rep.ClockFn = env.SimClock
+		if dev := env.E.Device(); dev != nil {
+			rep.TransferFn = dev.TransferSeconds
+		}
 		rep.buckets = nn.BuildGradBuckets(w.Params(), c.cfg.BucketCapBytes)
 		rep.flat = make([][]float32, len(rep.buckets))
 		for i, b := range rep.buckets {
@@ -280,11 +234,11 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 
 	st := &run{
 		c:        c,
+		g:        exec.NewGroup(c.world),
 		reps:     reps,
 		backward: make([]float64, c.world),
 		compute:  make([]float64, c.world),
 	}
-	st.cond = sync.NewCond(&st.mu)
 	st.track = obs.NewTrack("ddp-reduce")
 	maxElems := 0
 	for _, b := range reps[0].buckets {
@@ -298,10 +252,7 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 		return c.runSingle(reps[0], epochs), nil
 	}
 
-	if obs.Enabled() {
-		st.lastCap = obs.CapturePhases()
-	}
-	var wg sync.WaitGroup
+	st.phases = exec.NewPhaseMeter()
 	for _, rep := range reps {
 		rep := rep
 		if dev := rep.env.E.Device(); dev != nil {
@@ -313,41 +264,30 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 			for i := range rep.buckets {
 				rep.buckets[i].FlattenGrads(rep.flat[i])
 			}
-			now := rep.clock()
-			st.mu.Lock()
-			st.backward[rep.rank] = backwardSecs
-			st.compute[rep.rank] = now - rep.lastClock
-			st.mu.Unlock()
-			rep.lastClock = now
-			if err := st.barrier(func() { st.reduceIteration(replicated) }); err != nil {
-				panic(clusterAbort{err})
+			iterCompute := rep.ClockDelta()
+			st.g.Do(func() {
+				st.backward[rep.Rank] = backwardSecs
+				st.compute[rep.Rank] = iterCompute
+			})
+			if err := st.g.Barrier(func() { st.reduceIteration(replicated) }); err != nil {
+				exec.Abort(err)
 			}
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(clusterAbort); ok {
-						return
-					}
-					st.fail(fmt.Errorf("ddp: replica %d panicked: %v", rep.rank, r))
-				}
-			}()
+		st.g.Go(rep.Rank, func() error {
 			for e := 0; e < epochs; e++ {
 				loss := rep.w.TrainEpoch()
 				rep.env.FinishPhase()
 				rep.epochLosses = append(rep.epochLosses, loss)
-				if err := st.barrier(func() { st.finishEpoch(replicated) }); err != nil {
-					return
+				if err := st.g.Barrier(func() { st.finishEpoch(replicated) }); err != nil {
+					return nil // already latched
 				}
 				rep.env.E.Reset()
 			}
-		}()
+			return nil
+		})
 	}
-	wg.Wait()
-	if st.err != nil {
-		return ClusterResult{}, st.err
+	if err := st.g.Wait(); err != nil {
+		return ClusterResult{}, err
 	}
 
 	res := ClusterResult{
@@ -395,20 +335,15 @@ func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
 		GradBytesPerIt: uint64(nn.ParamBytes(rep.w.Params())),
 		Replicas:       []models.Workload{rep.w},
 	}
-	var cap0 obs.PhaseCapture
-	if obs.Enabled() {
-		cap0 = obs.CapturePhases()
-	}
+	phases := exec.NewPhaseMeter()
 	last := 0.0
 	for e := 0; e < epochs; e++ {
 		res.Losses = append(res.Losses, rep.w.TrainEpoch())
 		rep.env.FinishPhase()
-		if obs.Enabled() {
-			cap1 := obs.CapturePhases()
-			res.HostPhases = append(res.HostPhases, cap0.Delta(cap1))
-			cap0 = cap1
+		if b, ok := phases.Epoch(1); ok {
+			res.HostPhases = append(res.HostPhases, b)
 		}
-		now := rep.clock()
+		now := rep.Clock()
 		res.EpochSeconds = append(res.EpochSeconds, now-last)
 		last = now
 		rep.env.E.Reset()
@@ -554,16 +489,12 @@ func ringReduce(dst []float32, bucket, world int, flat func(rank int) []float32)
 func (st *run) finishEpoch(replicated bool) {
 	tail, contention, loss := 0.0, 0.0, 0.0
 	for _, rep := range st.reps {
-		now := rep.clock()
-		if d := now - rep.lastClock; d > tail {
+		if d := rep.ClockDelta(); d > tail {
 			tail = d
 		}
-		rep.lastClock = now
-		tr := rep.transfer()
-		if d := tr - rep.lastTransfer; d > contention {
+		if d := rep.TransferDelta(); d > contention {
 			contention = d
 		}
-		rep.lastTransfer = tr
 		loss += rep.epochLosses[len(rep.epochLosses)-1]
 	}
 	st.epochCompute += tail
@@ -577,12 +508,12 @@ func (st *run) finishEpoch(replicated bool) {
 	st.totalCompute += st.epochCompute
 	st.losses = append(st.losses, loss/float64(len(st.reps)))
 	st.epochCompute, st.epochExposed = 0, 0
-	if obs.Enabled() {
+	if st.phases != nil {
 		// Phase counters aggregated over all replicas this epoch; report
 		// the mean per replica against the epoch's wall interval.
-		cap1 := obs.CapturePhases()
-		st.hostPhases = append(st.hostPhases, st.lastCap.Delta(cap1).Scale(len(st.reps)))
-		st.lastCap = cap1
+		if b, ok := st.phases.Epoch(len(st.reps)); ok {
+			st.hostPhases = append(st.hostPhases, b)
+		}
 	}
 }
 

@@ -77,6 +77,14 @@ type Result struct {
 	HostPhases []obs.PhaseBreakdown
 }
 
+// AllreduceSeconds returns the modeled per-iteration ring-allreduce cost
+// for a gradient payload: 2(G-1)/G bandwidth terms, 2(G-1) hop latencies,
+// plus the reducer hook overhead. Exported so other execution strategies
+// (the partitioned plane's gradient synchronization) share one comm model.
+func AllreduceSeconds(cfg CommConfig, gpus int, gradBytes uint64) float64 {
+	return allreduceSeconds(cfg, gpus, gradBytes)
+}
+
 // allreduceSeconds returns the per-iteration gradient synchronization cost.
 func allreduceSeconds(cfg CommConfig, gpus int, gradBytes uint64) float64 {
 	if gpus <= 1 {

@@ -15,7 +15,7 @@ type PartitionedResult struct {
 	Speedup     float64
 }
 
-// PartitionedFullGraph estimates multi-GPU full-graph training with
+// PartitionedFullGraphAnalytical estimates multi-GPU full-graph training with
 // ROC/NeuGraph-style graph partitioning — the approach the paper says
 // high-level frameworks should adopt (its DDP study cannot scale ARGA at
 // all, since full-graph training does not shard by batch).
@@ -28,7 +28,7 @@ type PartitionedResult struct {
 //
 // singleEpochSeconds is the measured 1-GPU epoch time; itersPerEpoch the
 // iteration count; layers the model's propagation depth.
-func PartitionedFullGraph(adj *graph.CSR, featureDim, layers int,
+func PartitionedFullGraphAnalytical(adj *graph.CSR, featureDim, layers int,
 	singleEpochSeconds float64, itersPerEpoch int, cfg CommConfig, gpuCounts []int) []PartitionedResult {
 
 	n := adj.Rows

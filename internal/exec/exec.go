@@ -1,0 +1,249 @@
+// Package exec is the execution core shared by the multi-device training
+// strategies: it owns the goroutine-per-simulated-GPU lifecycle, the
+// lockstep barrier with leader election and abort propagation, per-peer
+// simulated-clock delta accounting, and host phase metering. The bucketed
+// ring-allreduce DDP plane (internal/ddp) and the graph-partitioned plane
+// (internal/partitioned) are both strategies layered on this core — the
+// strategy decides what happens at each synchronization point, the core
+// decides how the workers get there and back race-free.
+//
+// The concurrency contract is the one the DDP engine established: one
+// mutex orders every cross-worker access. Workers record their per-rank
+// state under Do, enter Barrier, and the last arriver runs the leader
+// closure while everyone else is blocked — so the leader may freely read
+// and write any worker's buffers. Repeated runs stay byte-identical as
+// long as leader closures compute results as a pure function of the
+// gathered inputs in a fixed (rank or bucket) order, never of which
+// goroutine happened to arrive last.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"gnnmark/internal/obs"
+)
+
+// Group is the lockstep state of one multi-worker run: a cyclic barrier
+// with leader election, first-error latching, and abort propagation.
+type Group struct {
+	world int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+	err     error
+
+	wg sync.WaitGroup
+}
+
+// NewGroup returns a group of `world` workers (world >= 1).
+func NewGroup(world int) *Group {
+	if world < 1 {
+		panic(fmt.Sprintf("exec: invalid world size %d", world))
+	}
+	g := &Group{world: world}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// World returns the number of workers in the group.
+func (g *Group) World() int { return g.world }
+
+// Do runs f under the group mutex. Workers use it to publish per-rank
+// state (timings, gradient buffers) that a later Barrier leader will read.
+func (g *Group) Do(f func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f()
+}
+
+// Barrier blocks until all workers arrive; the last arriver runs leader()
+// (when non-nil) under the lock before releasing the others. Returns the
+// first recorded error — and once a worker has failed, leaders stop
+// running and every waiter is released immediately.
+func (g *Group) Barrier(leader func()) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	g.arrived++
+	if g.arrived == g.world {
+		if leader != nil {
+			leader()
+		}
+		g.arrived = 0
+		g.gen++
+		g.cond.Broadcast()
+		return g.err
+	}
+	gen := g.gen
+	for g.gen == gen && g.err == nil {
+		g.cond.Wait()
+	}
+	return g.err
+}
+
+// Fail latches the run's first error and wakes every barrier waiter.
+func (g *Group) Fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Err returns the latched run error, if any.
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// abortPanic unwinds a worker goroutine after the run has failed; Go's
+// recover treats it as a clean exit (the error is already latched).
+type abortPanic struct{ err error }
+
+// Abort unwinds the calling worker goroutine with a panic that Go
+// recognizes as a controlled abort. Call it from code (e.g. a gradient
+// hook deep inside a workload's training step) that cannot return an
+// error up to the worker body.
+func Abort(err error) {
+	panic(abortPanic{err})
+}
+
+// Go spawns one worker goroutine. A controlled Abort unwinds silently;
+// any other panic is converted into a run failure so the remaining
+// workers' barriers release. Errors returned by body are latched via Fail.
+func (g *Group) Go(rank int, body func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortPanic); ok {
+					return
+				}
+				g.Fail(fmt.Errorf("exec: worker %d panicked: %v", rank, r))
+			}
+		}()
+		if err := body(); err != nil {
+			g.Fail(err)
+		}
+	}()
+}
+
+// Wait blocks until every spawned worker has exited and returns the
+// run's first error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.Err()
+}
+
+// Gather is the group's basic collective: every rank publishes one value
+// and receives a snapshot of all ranks' values in rank order. The double
+// barrier makes slot reuse safe — the second barrier guarantees every
+// rank has copied the round's snapshot before any rank can start the
+// next round's publication.
+type Gather struct {
+	g     *Group
+	slots []any
+}
+
+// NewGather returns a reusable collective bound to g.
+func NewGather(g *Group) *Gather {
+	return &Gather{g: g, slots: make([]any, g.world)}
+}
+
+// Run publishes val for rank and returns every rank's value, in rank
+// order. Published values must not be mutated after publication (publish
+// snapshots, not live buffers). Returns the run error once the group has
+// failed.
+func (x *Gather) Run(rank int, val any) ([]any, error) {
+	x.slots[rank] = val // distinct index per rank; ordering via the barrier
+	if err := x.g.Barrier(nil); err != nil {
+		return nil, err
+	}
+	out := make([]any, len(x.slots))
+	copy(out, x.slots)
+	if err := x.g.Barrier(nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Peer tracks one worker's simulated-time cursors so strategies can
+// attribute clock and transfer deltas per synchronization interval.
+type Peer struct {
+	Rank int
+	// ClockFn is the worker's simulated-clock source (e.g. Env.SimClock);
+	// TransferFn its cumulative transfer-seconds source. Either may be nil.
+	ClockFn    func() float64
+	TransferFn func() float64
+
+	lastClock    float64
+	lastTransfer float64
+}
+
+// Clock returns the current simulated clock (0 without a source).
+func (p *Peer) Clock() float64 {
+	if p.ClockFn == nil {
+		return 0
+	}
+	return p.ClockFn()
+}
+
+// ClockDelta returns the simulated time elapsed since the previous
+// ClockDelta (or since construction) and advances the cursor.
+func (p *Peer) ClockDelta() float64 {
+	now := p.Clock()
+	d := now - p.lastClock
+	p.lastClock = now
+	return d
+}
+
+// LastClock returns the clock recorded by the previous ClockDelta.
+func (p *Peer) LastClock() float64 { return p.lastClock }
+
+// TransferDelta returns the transfer-seconds accumulated since the
+// previous TransferDelta and advances the cursor (0 without a source).
+func (p *Peer) TransferDelta() float64 {
+	if p.TransferFn == nil {
+		return 0
+	}
+	now := p.TransferFn()
+	d := now - p.lastTransfer
+	p.lastTransfer = now
+	return d
+}
+
+// PhaseMeter captures host phase-counter deltas per epoch. It no-ops
+// (ok = false) unless obs was enabled at construction time.
+type PhaseMeter struct {
+	on   bool
+	last obs.PhaseCapture
+}
+
+// NewPhaseMeter snapshots the phase counters if obs is enabled.
+func NewPhaseMeter() *PhaseMeter {
+	m := &PhaseMeter{on: obs.Enabled()}
+	if m.on {
+		m.last = obs.CapturePhases()
+	}
+	return m
+}
+
+// Epoch returns the phase breakdown since the previous Epoch call, with
+// counter sums divided by div (the per-worker mean for div = world).
+func (m *PhaseMeter) Epoch(div int) (obs.PhaseBreakdown, bool) {
+	if !m.on {
+		return obs.PhaseBreakdown{}, false
+	}
+	cur := obs.CapturePhases()
+	b := m.last.Delta(cur).Scale(div)
+	m.last = cur
+	return b, true
+}

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierLeaderElection: exactly one leader per barrier generation, and
+// every worker observes the leader's writes afterwards.
+func TestBarrierLeaderElection(t *testing.T) {
+	const world, rounds = 4, 50
+	g := NewGroup(world)
+	leaders := 0
+	shared := 0
+	for rank := 0; rank < world; rank++ {
+		g.Go(rank, func() error {
+			for r := 0; r < rounds; r++ {
+				if err := g.Barrier(func() { leaders++; shared = r + 1 }); err != nil {
+					return err
+				}
+				var seen int
+				g.Do(func() { seen = shared })
+				if seen != r+1 {
+					return fmt.Errorf("round %d: shared = %d", r, seen)
+				}
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if leaders != rounds {
+		t.Fatalf("leader ran %d times, want %d", leaders, rounds)
+	}
+}
+
+// TestFailReleasesWaiters: one failing worker releases everyone blocked at
+// the barrier with the latched error; later barriers return it immediately.
+func TestFailReleasesWaiters(t *testing.T) {
+	const world = 4
+	g := NewGroup(world)
+	boom := errors.New("boom")
+	var released atomic.Int32
+	for rank := 0; rank < world; rank++ {
+		g.Go(rank, func() error {
+			if rank == 0 {
+				return boom
+			}
+			if err := g.Barrier(nil); err != nil {
+				released.Add(1)
+				return nil // error already latched
+			}
+			return fmt.Errorf("rank %d: barrier passed with %d workers", rank, world-1)
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("latched error = %v, want boom", err)
+	}
+	if released.Load() != world-1 {
+		t.Fatalf("%d waiters released, want %d", released.Load(), world-1)
+	}
+}
+
+// TestAbortUnwinds: Abort from deep inside a worker exits the goroutine
+// without overwriting the latched error.
+func TestAbortUnwinds(t *testing.T) {
+	g := NewGroup(2)
+	boom := errors.New("first")
+	g.Go(0, func() error { return boom })
+	g.Go(1, func() error {
+		for g.Err() == nil { // wait for the latch
+		}
+		Abort(g.Err())
+		return errors.New("unreachable")
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("latched error = %v, want first", err)
+	}
+}
+
+// TestGatherRankOrder: every rank sees every payload in rank order, every
+// round, with slot reuse across rounds.
+func TestGatherRankOrder(t *testing.T) {
+	const world, rounds = 3, 20
+	g := NewGroup(world)
+	x := NewGather(g)
+	for rank := 0; rank < world; rank++ {
+		g.Go(rank, func() error {
+			for r := 0; r < rounds; r++ {
+				vals, err := x.Run(rank, rank*1000+r)
+				if err != nil {
+					return err
+				}
+				for q, v := range vals {
+					if v.(int) != q*1000+r {
+						return fmt.Errorf("rank %d round %d slot %d: %v", rank, r, q, v)
+					}
+				}
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeerDeltas: clock deltas partition elapsed simulated time.
+func TestPeerDeltas(t *testing.T) {
+	clock := 0.0
+	p := Peer{Rank: 0, ClockFn: func() float64 { return clock }}
+	p.ClockDelta() // baseline
+	clock = 1.5
+	if d := p.ClockDelta(); d != 1.5 {
+		t.Fatalf("delta %v, want 1.5", d)
+	}
+	clock = 2.0
+	if d := p.ClockDelta(); d != 0.5 {
+		t.Fatalf("delta %v, want 0.5", d)
+	}
+	if p.LastClock() != 2.0 {
+		t.Fatalf("cursor %v, want 2.0", p.LastClock())
+	}
+}

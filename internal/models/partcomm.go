@@ -1,0 +1,364 @@
+package models
+
+import (
+	"math"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/graph"
+	"gnnmark/internal/tensor"
+)
+
+// This file is the workload side of graph-partitioned training (the
+// execution strategy ROC/NeuGraph-style systems use for full-graph GNNs
+// the paper says DDP cannot scale): the communicator contract the engine
+// injects, and the cross-worker collective tape operations — halo
+// exchange, all-gather, global mean-pool, synchronized batch norm — whose
+// backward passes route gradients across partition boundaries.
+//
+// Determinism contract: every collective is leaderless. Workers publish
+// immutable snapshots through PartComm.Exchange and then each worker
+// combines the gathered payloads locally, always iterating ranks (and
+// rows) in ascending order — so every worker computes bitwise-identical
+// results, reruns are byte-identical, and shared values (BN statistics,
+// pooled tensors, summed gradients) need no cross-worker writes at all.
+
+// PartComm is the collective communicator the partitioned engine hands a
+// PartWorkload. Exchange publishes this rank's payload under a named
+// collective, synchronizes with every peer, and returns all ranks'
+// payloads in rank order. wireBytes is the NVLink traffic this rank
+// *receives* for the collective (what the timing model charges the halo
+// stream). Payloads must be immutable once published; callers must invoke
+// the same sequence of collectives on every rank (lockstep). When a peer
+// worker fails, Exchange unwinds the calling goroutine via the engine's
+// abort panic rather than returning.
+type PartComm interface {
+	Rank() int
+	World() int
+	Exchange(kind string, wireBytes uint64, payload any) []any
+}
+
+// PartLossMode says how the engine folds per-rank epoch losses into the
+// reported loss.
+type PartLossMode int
+
+const (
+	// PartLossSum: ranks return pre-scaled partial losses (local mean
+	// scaled by localRows/globalRows); the global loss is their sum.
+	PartLossSum PartLossMode = iota
+	// PartLossReplicated: the loss path runs replicated on every rank
+	// (identical values); the global loss is rank 0's.
+	PartLossReplicated
+)
+
+// PartInfo describes one rank's partition for reporting and the overlap
+// timing model.
+type PartInfo struct {
+	OwnedNodes int
+	HaloNodes  int
+	EdgeCut    int // global edge cut of the plan
+	// BoundaryFraction is the share of owned rows some peer reads as
+	// halo — what a boundary-first schedule publishes early.
+	BoundaryFraction float64
+}
+
+// PartWorkload is a workload that trains one partition of a single large
+// graph in lockstep with its peers. It extends Workload: TrainEpoch runs
+// this rank's partition, with every cross-partition value moving through
+// the bound PartComm.
+type PartWorkload interface {
+	Workload
+	// BindComm injects the engine's communicator; called once before
+	// training starts.
+	BindComm(c PartComm)
+	// SyncPlan classifies parameters for the end-of-iteration gradient
+	// synchronization: partial parameters hold per-rank partial sums
+	// (engine sums them across ranks in rank order); replicated
+	// parameters already hold identical full gradients on every rank.
+	SyncPlan() (partial, replicated []*autograd.Param)
+	// LossMode says how per-rank losses combine.
+	LossMode() PartLossMode
+	// PartInfo reports this rank's partition shape.
+	PartInfo() PartInfo
+}
+
+// partComms bundles the communicator with one partition plan's local view.
+type partComms struct {
+	c    PartComm
+	plan *graph.PartitionPlan
+	rank int
+	lp   *graph.LocalPart
+}
+
+// haloExtend assembles the extended input of a partitioned SpMM: owned
+// rows of x followed by ghost rows pulled from their owners. Backward
+// publishes the ghost-row gradients and deposits the slices peers pulled
+// from this rank back into x — the reverse halo exchange.
+func (pc *partComms) haloExtend(t *autograd.Tape, kind string, x *autograd.Var) *autograd.Var {
+	lp := pc.lp
+	owned := len(lp.Owned)
+	dim := x.Value.Dim(1)
+	vals := pc.c.Exchange(kind, lp.HaloBytes(dim), x.Value)
+
+	ext := tensor.New(lp.Ext(), dim)
+	for i := 0; i < owned; i++ {
+		copy(ext.Row(i), x.Value.Row(i))
+	}
+	for q, v := range vals {
+		if q == pc.rank {
+			continue
+		}
+		peer := v.(*tensor.Tensor)
+		rt := lp.In[q]
+		for i := range rt.Src {
+			copy(ext.Row(int(rt.Dst[i])), peer.Row(int(rt.Src[i])))
+		}
+	}
+	// Backward receive volume: the rows peers ghost from this rank.
+	var bwdBytes uint64
+	for q, other := range pc.plan.Local {
+		if q != pc.rank {
+			bwdBytes += uint64(len(other.In[pc.rank].Src)) * uint64(dim) * 4
+		}
+	}
+	return t.Node(ext, true, func(dy *tensor.Tensor) {
+		// Reverse exchange: every rank publishes its extended-row gradient;
+		// each rank folds the ghost slices peers pulled from it into its
+		// owned gradient, on top of the pass-through owned block.
+		grads := pc.c.Exchange(kind+".bwd", bwdBytes, dy)
+		dx := tensor.NewPooled(owned, dim)
+		for i := 0; i < owned; i++ {
+			copy(dx.Row(i), dy.Row(i))
+		}
+		for q, g := range grads {
+			if q == pc.rank {
+				continue
+			}
+			peer := g.(*tensor.Tensor)
+			rt := pc.plan.Local[q].In[pc.rank]
+			for i := range rt.Src {
+				dst, src := dx.Row(int(rt.Src[i])), peer.Row(int(rt.Dst[i]))
+				for j := range dst {
+					dst[j] += src[j]
+				}
+			}
+		}
+		x.Accum(dx)
+		tensor.Recycle(dx)
+	})
+}
+
+// allGatherRows materializes the full n-row tensor from every rank's
+// owned rows (ARGA's inner-product decoder reads all embeddings).
+// Backward reduces the full-gradient copies across ranks in rank order —
+// identical on every rank — and deposits this rank's owned slice into x.
+func (pc *partComms) allGatherRows(t *autograd.Tape, kind string, x *autograd.Var) *autograd.Var {
+	lp := pc.lp
+	n := pc.plan.N
+	dim := x.Value.Dim(1)
+	remote := uint64(n-len(lp.Owned)) * uint64(dim) * 4
+	vals := pc.c.Exchange(kind, remote, x.Value)
+
+	full := tensor.New(n, dim)
+	for q, v := range vals {
+		peer := v.(*tensor.Tensor)
+		for i, g := range pc.plan.Local[q].Owned {
+			copy(full.Row(int(g)), peer.Row(i))
+		}
+	}
+	return t.Node(full, true, func(dy *tensor.Tensor) {
+		grads := pc.c.Exchange(kind+".bwd", remote, dy)
+		dx := tensor.NewPooled(len(lp.Owned), dim)
+		// Sum every rank's full dZ in rank order, keeping only owned rows:
+		// the same association on every rank, so the reduced gradient is
+		// bitwise-identical cluster-wide.
+		for _, g := range grads {
+			peer := g.(*tensor.Tensor)
+			for i, gl := range lp.Owned {
+				dst, src := dx.Row(i), peer.Row(int(gl))
+				for j := range dst {
+					dst[j] += src[j]
+				}
+			}
+		}
+		x.Accum(dx)
+		tensor.Recycle(dx)
+	})
+}
+
+// assembleFull gathers every rank's owned rows of a value into global row
+// order. The returned payload list keeps peers' tensors alive for the
+// caller's combine loop.
+func (pc *partComms) assembleFull(kind string, wireBytes uint64, local *tensor.Tensor) (*tensor.Tensor, []any) {
+	dim := local.Dim(1)
+	vals := pc.c.Exchange(kind, wireBytes, local)
+	full := tensor.New(pc.plan.N, dim)
+	for q, v := range vals {
+		peer := v.(*tensor.Tensor)
+		for i, g := range pc.plan.Local[q].Owned {
+			copy(full.Row(int(g)), peer.Row(i))
+		}
+	}
+	return full, vals
+}
+
+// meanPoolGlobal is the partitioned global mean pool: scatter-add every
+// node row into its graph's row, divided by node counts. The reduction
+// runs over the *global* row order (bitwise-identical to the
+// single-device ScatterAddRows kernel), producing a replicated pooled
+// tensor on every rank; backward is a purely local gather from the
+// replicated upstream gradient.
+//
+// Wire accounting is honest to a real implementation — partial per-graph
+// sums allreduced ring-style — not to the simulation shortcut of
+// gathering full rows.
+func (pc *partComms) meanPoolGlobal(t *autograd.Tape, kind string, h *autograd.Var, globalGraphID []int32, numGraphs int) *autograd.Var {
+	lp := pc.lp
+	dim := h.Value.Dim(1)
+	world := pc.c.World()
+	ring := uint64(0)
+	if world > 1 {
+		payload := uint64(numGraphs) * uint64(dim) * 4
+		ring = 2 * uint64(world-1) * payload / uint64(world)
+	}
+	full, _ := pc.assembleFull(kind, ring, h.Value)
+
+	pooled := tensor.New(numGraphs, dim)
+	for i := 0; i < pc.plan.N; i++ {
+		dst, src := pooled.Row(int(globalGraphID[i])), full.Row(i)
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	counts := make([]float32, numGraphs)
+	for _, g := range globalGraphID {
+		counts[g]++
+	}
+	for gi := 0; gi < numGraphs; gi++ {
+		row := pooled.Row(gi)
+		inv := 1 / counts[gi]
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return t.Node(pooled, true, func(dy *tensor.Tensor) {
+		// dy is replicated (the head path runs identically on every
+		// rank): each owned node gathers its graph's gradient locally.
+		dx := tensor.NewPooled(len(lp.Owned), dim)
+		for i, g := range lp.Owned {
+			gi := int(globalGraphID[g])
+			dst, src := dx.Row(i), dy.Row(gi)
+			inv := 1 / counts[gi]
+			for j := range dst {
+				dst[j] = src[j] * inv
+			}
+		}
+		h.Accum(dx)
+		tensor.Recycle(dx)
+	})
+}
+
+// bnPair is the backward payload of syncBatchNorm: this rank's upstream
+// gradient and normalized activations.
+type bnPair struct{ dy, xhat *tensor.Tensor }
+
+// syncBatchNorm is synchronized batch normalization across partitions:
+// statistics are computed over the global row population, so the
+// normalized activations — and the gamma/beta gradients — are
+// bitwise-identical to single-device training. The combine replicates the
+// serial backend's accumulation (float32 stats per column over rows in
+// global order; float64 gradient sums) exactly. Local stats/backward
+// kernels are still launched so the device timeline carries SyncBN's
+// compute cost; their results are discarded in favor of the global ones.
+//
+// Wire accounting models what NCCL SyncBN moves — two stats vectors per
+// direction per peer — not the full-row gather the simulation uses.
+func (pc *partComms) syncBatchNorm(t *autograd.Tape, kind string, x, gamma, beta *autograd.Var, eps float32) *autograd.Var {
+	lp := pc.lp
+	e := t.E
+	n := pc.plan.N
+	f := x.Value.Dim(1)
+	statsBytes := uint64(pc.c.World()-1) * uint64(2*f) * 4
+	full, _ := pc.assembleFull(kind, statsBytes, x.Value)
+
+	// Local stats kernel for timing realism; values replaced by global.
+	e.BatchNormStats(x.Value)
+
+	// Global statistics, replicating batchNormStatsRange bitwise.
+	mean := tensor.New(f)
+	variance := tensor.New(f)
+	mdata, vdata, xdata := mean.Data(), variance.Data(), full.Data()
+	inv := float32(1)
+	if n > 0 {
+		inv = 1 / float32(n)
+	}
+	for j := 0; j < f; j++ {
+		for i := 0; i < n; i++ {
+			mdata[j] += xdata[i*f+j]
+		}
+		mdata[j] *= inv
+		for i := 0; i < n; i++ {
+			d := xdata[i*f+j] - mdata[j]
+			vdata[j] += d * d
+		}
+		vdata[j] *= inv
+	}
+
+	out := e.BatchNormApply(x.Value, mean, variance, gamma.Value, beta.Value, eps)
+	rows := len(lp.Owned)
+	xhat := tensor.New(rows, f)
+	for i := 0; i < rows; i++ {
+		xr, hr := x.Value.Row(i), xhat.Row(i)
+		for j := 0; j < f; j++ {
+			hr[j] = (xr[j] - mdata[j]) / sqrtf32(vdata[j]+eps)
+		}
+	}
+
+	return t.Node(out, true, func(dy *tensor.Tensor) {
+		grads := pc.c.Exchange(kind+".bwd", statsBytes, bnPair{dy: dy, xhat: xhat})
+		// Local backward kernel for timing realism; values discarded.
+		e.BatchNormBackward(xhat, dy, variance, gamma.Value, eps)
+
+		fullDy := tensor.New(n, f)
+		fullXhat := tensor.New(n, f)
+		for q, g := range grads {
+			pair := g.(bnPair)
+			for i, gl := range pc.plan.Local[q].Owned {
+				copy(fullDy.Row(int(gl)), pair.dy.Row(i))
+				copy(fullXhat.Row(int(gl)), pair.xhat.Row(i))
+			}
+		}
+		dyd, xhd := fullDy.Data(), fullXhat.Data()
+		gvals := gamma.Value.Data()
+		dgamma := tensor.NewPooled(f)
+		dbeta := tensor.NewPooled(f)
+		dx := tensor.NewPooled(rows, f)
+		invN := 1 / float64(n)
+		for j := 0; j < f; j++ {
+			// Global sums in global row order, float64, with the same
+			// float32 product the backend uses — bitwise-identical
+			// dgamma/dbeta on every rank and to the single-device kernel.
+			var sumDy, sumDyXhat float64
+			for i := 0; i < n; i++ {
+				sumDy += float64(dyd[i*f+j])
+				sumDyXhat += float64(dyd[i*f+j] * xhd[i*f+j])
+			}
+			dgamma.Data()[j] = float32(sumDyXhat)
+			dbeta.Data()[j] = float32(sumDy)
+			invStd := 1 / math.Sqrt(float64(vdata[j]+eps))
+			for i := 0; i < rows; i++ {
+				dyv := dy.Row(i)[j]
+				xhv := xhat.Row(i)[j]
+				dx.Row(i)[j] = float32(float64(gvals[j]) * invStd *
+					(float64(dyv) - invN*sumDy - float64(xhv)*invN*sumDyXhat))
+			}
+		}
+		x.Accum(dx)
+		gamma.Accum(dgamma)
+		beta.Accum(dbeta)
+		tensor.Recycle(dx)
+		tensor.Recycle(dgamma)
+		tensor.Recycle(dbeta)
+	})
+}
+
+func sqrtf32(v float32) float32 { return float32(math.Sqrt(float64(v))) }

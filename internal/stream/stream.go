@@ -174,6 +174,16 @@ func (s *Stream) enqueue(name, cat string, dur float64, bytes uint64) float64 {
 	return start
 }
 
+// Push enqueues a pre-timed item on the stream without touching the
+// device: start = max(cursor, fence), cursor advances by dur. It exists
+// for planes that derive durations from their own model — the partitioned
+// engine pushes whole compute spans (serialized-clock deltas) and modeled
+// NVLink halo copies — while reusing the stream's fencing, busy accounting,
+// and trace-lane export. Returns the item's start time.
+func (s *Stream) Push(name, cat string, dur float64, bytes uint64) float64 {
+	return s.enqueue(name, cat, dur, bytes)
+}
+
 // Launch submits k to the device (advancing the serialized baseline clock
 // and all kernel accounting exactly as a direct Launch would) and enqueues
 // its duration on this stream's timeline.
