@@ -207,6 +207,10 @@ func main() {
 		res, err := bench.FigPart(cfg)
 		fail(err)
 		fmt.Print(bench.FormatFigPart(res))
+	case "figf":
+		res, err := bench.FigF(cfg)
+		fail(err)
+		fmt.Print(bench.FormatFigF(res))
 	case "sweep":
 		var vals []int
 		for _, f := range strings.Split(*sweepVals, ",") {
@@ -460,6 +464,7 @@ commands:
   sweep            hyperparameter sweep (-sweep WORKLOAD/param -values a,b,c)
   partitioned      ROC-style partitioned full-graph ARGA scaling what-if (analytical)
   figpart          executed DDP vs executed graph-partitioned training: scaling, comm volume, edge-cut sweep (-gpus)
+  figf             goodput under churn: fault-injected fleet, elastic drop-and-reshard vs fail-stop replacement (-gpus, -seed)
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnmark/internal/core"
+	"gnnmark/internal/ddp"
+	"gnnmark/internal/fault"
+)
+
+// FigFArm summarizes one recovery strategy's outcome at one churn level.
+type FigFArm struct {
+	Goodput         float64
+	UsefulSeconds   float64
+	LostSeconds     float64
+	OverheadSeconds float64
+	TotalSeconds    float64
+	Recoveries      int
+	Survivors       int
+	EpochsCompleted int
+}
+
+// FigFLevel is one churn level: the injected fault counts and both
+// strategies' outcomes under the identical schedule.
+type FigFLevel struct {
+	// Fatals and Degraded are the event counts drawn into the schedule.
+	Fatals, Degraded int
+	Elastic          FigFArm
+	FailStop         FigFArm
+}
+
+// FigFWorkload holds one workload's goodput-vs-churn series.
+type FigFWorkload struct {
+	Workload string
+	Levels   []FigFLevel
+}
+
+// FigFResult is everything the figf command prints: Figure F, goodput
+// under churn for elastic drop-and-reshard vs fail-stop replacement.
+type FigFResult struct {
+	GPUs      int
+	Epochs    int
+	Seed      int64
+	Workloads []FigFWorkload
+}
+
+func figFArm(res ddp.ElasticResult) FigFArm {
+	return FigFArm{
+		Goodput:         res.Goodput,
+		UsefulSeconds:   res.UsefulSeconds,
+		LostSeconds:     res.LostSeconds,
+		OverheadSeconds: res.OverheadSeconds,
+		TotalSeconds:    res.TotalSeconds,
+		Recoveries:      res.Recoveries,
+		Survivors:       len(res.Survivors),
+		EpochsCompleted: res.EpochsCompleted,
+	}
+}
+
+// FigF runs the goodput-under-churn study: for each workload, draw seeded
+// chaos schedules of rising churn (fatal + degraded health events over the
+// run's horizon) and train through each schedule twice — once with elastic
+// recovery (drop the dead replicas, re-shard, reload the epoch checkpoint,
+// resume within seconds) and once with the fail-stop baseline (rebuild the
+// full world after waiting out node replacement). Identical schedules feed
+// both arms, so the goodput gap is purely the recovery policy.
+//
+// cfg.GPUs sets the fleet size (default 4); cfg.Workload restricts the
+// study to one workload (default: ARGA and DGCN, the two both multi-GPU
+// discussions single out).
+func FigF(cfg core.RunConfig) (*FigFResult, error) {
+	if cfg.GPUs <= 1 {
+		cfg.GPUs = 4
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	keys := []string{"ARGA", "DGCN"}
+	if cfg.Workload != "" {
+		keys = []string{cfg.Workload}
+	}
+	out := &FigFResult{GPUs: cfg.GPUs, Epochs: cfg.Epochs, Seed: cfg.Seed}
+	for _, key := range keys {
+		c := cfg
+		c.Workload = key
+		c.Dataset = ""
+		factory, err := core.DDPFactory(c)
+		if err != nil {
+			return nil, err
+		}
+		// Event timestamps compare against barrier-time device clocks, which
+		// advance with compute; probe one healthy epoch's critical path so
+		// the churn horizon spans the whole run.
+		probe, err := ddp.NewCluster(c.GPUs, ddp.ClusterConfig{}).Run(factory, 1)
+		if err != nil {
+			return nil, fmt.Errorf("figf: probing %s: %w", key, err)
+		}
+		horizon := probe.ComputeSeconds * float64(c.Epochs)
+
+		wl := FigFWorkload{Workload: key}
+		for _, lvl := range []struct{ f, d int }{{0, 0}, {1, 2}, {2, 4}, {3, 6}} {
+			if lvl.f > c.GPUs-1 {
+				continue // RandomSchedule always leaves a survivor
+			}
+			sched := fault.RandomSchedule(c.Seed, fault.ChurnConfig{
+				Slots: c.GPUs, Horizon: horizon, Fatals: lvl.f, Degraded: lvl.d,
+			})
+			el, err := ddp.RunElastic(factory, c.GPUs, c.Epochs, ddp.ElasticOptions{Schedule: sched})
+			if err != nil {
+				return nil, fmt.Errorf("figf: elastic %s churn %d/%d: %w", key, lvl.f, lvl.d, err)
+			}
+			fs, err := ddp.RunElastic(factory, c.GPUs, c.Epochs, ddp.ElasticOptions{Schedule: sched, FailStop: true})
+			if err != nil {
+				return nil, fmt.Errorf("figf: fail-stop %s churn %d/%d: %w", key, lvl.f, lvl.d, err)
+			}
+			wl.Levels = append(wl.Levels, FigFLevel{
+				Fatals: lvl.f, Degraded: lvl.d,
+				Elastic: figFArm(el), FailStop: figFArm(fs),
+			})
+		}
+		out.Workloads = append(out.Workloads, wl)
+	}
+	return out, nil
+}
+
+// FormatFigF renders the goodput-under-churn study.
+func FormatFigF(res *FigFResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figf: goodput under churn — elastic drop-and-reshard vs fail-stop replacement (%d GPUs, %d epochs, seed %d)\n",
+		res.GPUs, res.Epochs, res.Seed)
+	for _, wl := range res.Workloads {
+		fmt.Fprintf(&b, "\n%s:\n", wl.Workload)
+		fmt.Fprintf(&b, "  %6s %8s  %15s %9s %10s  %15s %9s %10s  %9s\n",
+			"fatals", "degraded",
+			"elastic goodput", "surv", "recov",
+			"failstop goodput", "surv", "recov", "advantage")
+		for _, lvl := range wl.Levels {
+			adv := 0.0
+			if lvl.FailStop.Goodput > 0 {
+				adv = lvl.Elastic.Goodput / lvl.FailStop.Goodput
+			}
+			fmt.Fprintf(&b, "  %6d %8d  %15.4f %9d %10d  %15.4f %9d %10d  %8.2fx\n",
+				lvl.Fatals, lvl.Degraded,
+				lvl.Elastic.Goodput, lvl.Elastic.Survivors, lvl.Elastic.Recoveries,
+				lvl.FailStop.Goodput, lvl.FailStop.Survivors, lvl.FailStop.Recoveries, adv)
+		}
+	}
+	b.WriteString("\ngoodput = useful seconds / total seconds; identical seeded schedules feed both arms,\n")
+	b.WriteString("so the gap is purely the recovery policy (seconds of re-shard vs minutes of replacement).\n")
+	return b.String()
+}

@@ -369,10 +369,10 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	return res, nil
 }
 
-// RunDDP trains cfg.Workload with the executed DDP engine at world sizes
-// 1, 2, 4, ... up to cfg.GPUs (always including cfg.GPUs itself) and
-// returns the per-world-size timeline with speedups against the 1-GPU run.
-func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
+// DDPFactory returns the per-rank replica builder for cfg's workload —
+// the factory RunDDP, the elastic fault harness (ddp.RunElastic), and the
+// goodput-under-churn study all share.
+func DDPFactory(cfg RunConfig) (ddp.ReplicaFactory, error) {
 	cfg.defaults()
 	spec, err := Lookup(cfg.Workload)
 	if err != nil {
@@ -397,8 +397,11 @@ func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
 		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
 	}
 
-	factory := func(rank, world int) (models.Workload, *models.Env) {
+	return func(rank, world int) (models.Workload, *models.Env) {
 		dev := gpu.New(devCfg)
+		if cfg.OnDevice != nil {
+			cfg.OnDevice(dev)
+		}
 		env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
 		env.Rank, env.World = rank, world
 		env.Pipeline = models.PipelineConfig{
@@ -411,6 +414,17 @@ func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
 		// the device clock before training, and the timeline starts at 0.
 		env.E.EnablePipeline(cfg.PipelineDepth, cfg.CompressH2D)
 		return w, env
+	}, nil
+}
+
+// RunDDP trains cfg.Workload with the executed DDP engine at world sizes
+// 1, 2, 4, ... up to cfg.GPUs (always including cfg.GPUs itself) and
+// returns the per-world-size timeline with speedups against the 1-GPU run.
+func RunDDP(cfg RunConfig) ([]ddp.Result, error) {
+	cfg.defaults()
+	factory, err := DDPFactory(cfg)
+	if err != nil {
+		return nil, err
 	}
 	worlds := []int{1}
 	for g := 2; g < cfg.GPUs; g *= 2 {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"gnnmark/internal/ddp"
+	"gnnmark/internal/fault"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/partitioned"
 )
@@ -72,6 +74,54 @@ func TestSuiteGoldenDeterminism(t *testing.T) {
 	if pd := suiteDigest(piped); pd != first {
 		t.Fatalf("pipelined suite digest differs from synchronous:\n%s", firstDiff(first, pd))
 	}
+
+	// One seeded chaos schedule rides the same pin: a fault-injected
+	// elastic run is a pure function of (seed, schedule), so its full
+	// outcome — recovery structure, losses, accounting, surviving weights —
+	// must replay bitwise and agree across numerics backends.
+	chaosRun := func(backendName string) string {
+		cfg := chaosCfg()
+		cfg.Backend = backendName
+		factory, err := DDPFactory(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := ddp.NewCluster(2, ddp.ClusterConfig{}).Run(factory, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := fault.RandomSchedule(11, fault.ChurnConfig{
+			Slots: 2, Horizon: probe.ComputeSeconds * 2, Fatals: 1, Degraded: 2,
+		})
+		res, err := ddp.RunElastic(factory, 2, cfg.Epochs, ddp.ElasticOptions{Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chaosDigest(res)
+	}
+	chaosFirst := chaosRun("serial")
+	if again := chaosRun("serial"); again != chaosFirst {
+		t.Fatalf("chaos digest not reproducible:\n%s", firstDiff(chaosFirst, again))
+	}
+	if par := chaosRun("parallel"); par != chaosFirst {
+		t.Fatalf("parallel-backend chaos digest differs from serial:\n%s", firstDiff(chaosFirst, par))
+	}
+}
+
+// chaosDigest flattens a fault-injected elastic run into an exact string:
+// the recovery structure, every kept loss, the goodput ledger, and the
+// surviving rank-0 weights folded through FNV-1a.
+func chaosDigest(res ddp.ElasticResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recoveries=%d survivors=%v epochs=%d rounds=%d losses=[",
+		res.Recoveries, res.Survivors, res.EpochsCompleted, len(res.Rounds))
+	for _, l := range res.Losses {
+		fmt.Fprintf(&b, "%x ", l)
+	}
+	fmt.Fprintf(&b, "] useful=%x lost=%x overhead=%x goodput=%x params=%016x\n",
+		res.UsefulSeconds, res.LostSeconds, res.OverheadSeconds, res.Goodput,
+		paramsHash(res.Replicas[0].Params()))
+	return b.String()
 }
 
 // partitionedDigest flattens an executed partitioned run into an exact

@@ -5,6 +5,7 @@ import (
 
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/exec"
+	"gnnmark/internal/fault"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
 	"gnnmark/internal/obs"
@@ -58,6 +59,23 @@ type ClusterConfig struct {
 	Comm CommConfig
 	// BucketCapBytes caps reducer buckets (0 = DefaultBucketCapBytes).
 	BucketCapBytes int
+
+	// Monitors attaches one deferred fault monitor per rank (len == world,
+	// or nil for a healthy fleet). Degraded events throttle the rank's
+	// device directly; fatal events are detected by the barrier LEADER, in
+	// rank order, against each rank's simulated clock at the gradient
+	// barrier — a deterministic point, so the set of dead ranks per
+	// iteration is a pure function of the schedule, never of goroutine
+	// interleaving. On detection the run aborts with a *FleetFailure
+	// carrying the round's partial progress; the elastic controller
+	// (RunElastic) re-shards and resumes.
+	Monitors []*fault.Monitor
+	// OnEpochEnd, when non-nil, is invoked by the epoch-barrier leader
+	// after each completed epoch with the count of epochs completed this
+	// run. Every worker is blocked in the barrier at that point, so the
+	// callback may read any replica's parameters race-free — it is the
+	// elastic controller's checkpoint hook.
+	OnEpochEnd func(completed int)
 }
 
 func (c *ClusterConfig) defaults() {
@@ -166,6 +184,74 @@ type run struct {
 	track      *obs.Track // spans of the leader's reduction work
 	phases     *exec.PhaseMeter
 	hostPhases []obs.PhaseBreakdown
+
+	// Fault-plane state (leader-written under the group mutex).
+	epochsDone int
+	failure    *FleetFailure
+}
+
+// checkFatal is the leader's fatal-event sweep at a gradient barrier: it
+// queries every rank's monitor, in rank order, at the rank's own simulated
+// clock (its fleet origin plus the clock recorded entering this barrier).
+// Both inputs are deterministic at a barrier, so reruns latch identical
+// failures. Returns true when the round must abort.
+func (st *run) checkFatal() bool {
+	mons := st.c.cfg.Monitors
+	if mons == nil || st.failure != nil {
+		return st.failure != nil
+	}
+	var dead []int
+	var events []fault.Event
+	for r, m := range mons {
+		if m == nil {
+			continue
+		}
+		if ev := m.FatalBy(m.Origin() + st.reps[r].LastClock()); ev != nil {
+			dead = append(dead, r)
+			events = append(events, *ev)
+		}
+	}
+	if dead == nil {
+		return false
+	}
+	// The failed iteration's work is wasted: everything the epoch had
+	// accumulated plus this iteration's critical-path compute. All inputs
+	// are barrier-deterministic.
+	maxCompute := 0.0
+	for r := range st.reps {
+		if st.compute[r] > maxCompute {
+			maxCompute = st.compute[r]
+		}
+	}
+	st.failure = &FleetFailure{
+		DeadRanks:       dead,
+		Events:          events,
+		CompletedEpochs: st.epochsDone,
+		EpochSeconds:    append([]float64(nil), st.epochSeconds...),
+		Losses:          append([]float64(nil), st.losses...),
+		LostSeconds:     st.epochCompute + maxCompute + st.epochExposed,
+	}
+	return true
+}
+
+// linkDeratedBandwidth derates the ring-allreduce bandwidth by the worst
+// NVLink degradation active across ranks at this barrier — the ring
+// crosses every replica's links, so its slowest link paces the collective.
+func (st *run) linkDeratedBandwidth(bw float64) float64 {
+	mons := st.c.cfg.Monitors
+	if mons == nil {
+		return bw
+	}
+	worst := 1.0
+	for r, m := range mons {
+		if m == nil {
+			continue
+		}
+		if f := m.LinkFactorBy(m.Origin() + st.reps[r].LastClock()); f > worst {
+			worst = f
+		}
+	}
+	return bw / worst
 }
 
 // Run trains `epochs` epochs of `world` replicas built by factory and
@@ -175,6 +261,9 @@ type run struct {
 func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error) {
 	if epochs < 1 {
 		epochs = 1
+	}
+	if c.cfg.Monitors != nil && len(c.cfg.Monitors) != c.world {
+		return ClusterResult{}, fmt.Errorf("ddp: %d monitors for %d ranks", len(c.cfg.Monitors), c.world)
 	}
 	w0, env0 := factory(0, c.world)
 	replicated := false
@@ -249,7 +338,7 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 	st.scratch = make([]float32, maxElems)
 
 	if c.world == 1 {
-		return c.runSingle(reps[0], epochs), nil
+		return c.runSingle(reps[0], epochs)
 	}
 
 	st.phases = exec.NewPhaseMeter()
@@ -259,6 +348,11 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 			// Construction may launch preprocessing kernels; measure
 			// training only.
 			dev.ResetClock()
+			if c.cfg.Monitors != nil {
+				// Deferred monitors only throttle; fatality is the
+				// leader's barrier-time decision (checkFatal).
+				dev.AttachHealth(c.cfg.Monitors[rep.Rank])
+			}
 		}
 		rep.env.OnGradients = func(params []*autograd.Param, backwardSecs float64) {
 			for i := range rep.buckets {
@@ -271,6 +365,16 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 			})
 			if err := st.g.Barrier(func() { st.reduceIteration(replicated) }); err != nil {
 				exec.Abort(err)
+			}
+			// The leader cannot latch from inside the barrier closure (the
+			// group mutex is already held), so it records the failure and
+			// every worker promotes it after release — same object, first
+			// Fail wins, all ranks unwind through the abort machinery.
+			var failed *FleetFailure
+			st.g.Do(func() { failed = st.failure })
+			if failed != nil {
+				st.g.Fail(failed)
+				exec.Abort(failed)
 			}
 		}
 		st.g.Go(rep.Rank, func() error {
@@ -322,11 +426,21 @@ func (c *Cluster) Run(factory ReplicaFactory, epochs int) (ClusterResult, error)
 	return res, nil
 }
 
-// runSingle is the world == 1 fast path.
-func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
+// runSingle is the world == 1 fast path. It still honors the fault plane
+// (a one-survivor elastic round must keep throttling and can still die):
+// degraded events throttle through the attached monitor, and fatal events
+// are checked at epoch boundaries against the simulated clock.
+func (c *Cluster) runSingle(rep *replica, epochs int) (ClusterResult, error) {
 	dev := rep.env.E.Device()
+	var mon *fault.Monitor
+	if c.cfg.Monitors != nil {
+		mon = c.cfg.Monitors[0]
+	}
 	if dev != nil {
 		dev.ResetClock()
+		if mon != nil {
+			dev.AttachHealth(mon)
+		}
 	}
 	res := ClusterResult{
 		GPUs:           1,
@@ -338,22 +452,38 @@ func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
 	phases := exec.NewPhaseMeter()
 	last := 0.0
 	for e := 0; e < epochs; e++ {
-		res.Losses = append(res.Losses, rep.w.TrainEpoch())
+		loss := rep.w.TrainEpoch()
 		rep.env.FinishPhase()
+		now := rep.Clock()
+		if mon != nil {
+			if ev := mon.FatalBy(mon.Origin() + now); ev != nil {
+				return ClusterResult{}, &FleetFailure{
+					DeadRanks:       []int{0},
+					Events:          []fault.Event{*ev},
+					CompletedEpochs: e,
+					EpochSeconds:    append([]float64(nil), res.EpochSeconds...),
+					Losses:          append([]float64(nil), res.Losses...),
+					LostSeconds:     now - last,
+				}
+			}
+		}
+		res.Losses = append(res.Losses, loss)
 		if b, ok := phases.Epoch(1); ok {
 			res.HostPhases = append(res.HostPhases, b)
 		}
-		now := rep.Clock()
 		res.EpochSeconds = append(res.EpochSeconds, now-last)
 		last = now
 		rep.env.E.Reset()
+		if c.cfg.OnEpochEnd != nil {
+			c.cfg.OnEpochEnd(e + 1)
+		}
 	}
 	res.ComputeSeconds = last
 	res.TotalSeconds = last
 	if dev != nil {
 		res.PeakMemBytes = dev.MemStats().PeakLive
 	}
-	return res
+	return res, nil
 }
 
 // reduceIteration is the leader's work once every replica has flattened its
@@ -361,6 +491,11 @@ func (c *Cluster) runSingle(rep *replica, epochs int) ClusterResult {
 // with a fixed-association ring reduction, write the averages back into all
 // replicas' gradient tensors, and advance the overlap timeline.
 func (st *run) reduceIteration(replicated bool) {
+	if st.checkFatal() {
+		// A rank died this iteration: skip the reduction (its result would
+		// be discarded) and let the workers promote the recorded failure.
+		return
+	}
 	reps := st.reps
 	world := len(reps)
 	buckets := reps[0].buckets
@@ -385,7 +520,7 @@ func (st *run) reduceIteration(replicated bool) {
 	}
 
 	cfg := st.c.cfg.Comm
-	bw := cfg.NVLinkBandwidthGBps * 1e9
+	bw := st.linkDeratedBandwidth(cfg.NVLinkBandwidthGBps * 1e9)
 	commBusy, finish, cum := 0.0, 0.0, 0
 
 	for bi := range buckets {
@@ -508,6 +643,10 @@ func (st *run) finishEpoch(replicated bool) {
 	st.totalCompute += st.epochCompute
 	st.losses = append(st.losses, loss/float64(len(st.reps)))
 	st.epochCompute, st.epochExposed = 0, 0
+	st.epochsDone++
+	if st.c.cfg.OnEpochEnd != nil {
+		st.c.cfg.OnEpochEnd(st.epochsDone)
+	}
 	if st.phases != nil {
 		// Phase counters aggregated over all replicas this epoch; report
 		// the mean per replica against the epoch's wall interval.

@@ -1,0 +1,301 @@
+package ddp
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"gnnmark/internal/fault"
+	"gnnmark/internal/models"
+	"gnnmark/internal/nn"
+)
+
+// FleetFailure is the error a DDP round aborts with when the barrier
+// leader latches fatal health events: the dead ranks, the events that
+// killed them, and the round's partial progress — everything the elastic
+// controller needs to account goodput and resume deterministically.
+type FleetFailure struct {
+	// DeadRanks are the round-local rank indices latched fatal, ascending.
+	DeadRanks []int
+	// Events are the fatal events, index-aligned with DeadRanks.
+	Events []fault.Event
+	// CompletedEpochs counts epochs finished before the failure this round.
+	CompletedEpochs int
+	// EpochSeconds and Losses cover the completed epochs of this round.
+	EpochSeconds []float64
+	Losses       []float64
+	// LostSeconds is the wasted work of the failed epoch: its accumulated
+	// critical-path compute and exposed communication up to and including
+	// the failing iteration.
+	LostSeconds float64
+}
+
+// Error implements error, naming every event that killed the round.
+func (f *FleetFailure) Error() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "ddp: fleet failure (%d dead): ", len(f.DeadRanks))
+	for i, ev := range f.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "rank %d: %s", f.DeadRanks[i], ev)
+	}
+	return b.String()
+}
+
+// ElasticOptions parameterizes a fault-tolerant multi-round run.
+type ElasticOptions struct {
+	// Cluster carries the interconnect and bucket configuration; its
+	// Monitors and OnEpochEnd fields are owned by the controller and must
+	// be left nil.
+	Cluster ClusterConfig
+	// Schedule is the fleet's health-event schedule, keyed by SLOT
+	// (original device index, stable across re-sharding).
+	Schedule []fault.Event
+	// FailStop selects the baseline recovery strategy: instead of dropping
+	// dead replicas and re-sharding, the whole world is rebuilt at full
+	// size after ReplacementDelaySeconds (waiting out node replacement).
+	FailStop bool
+	// RestartOverheadSeconds is the fleet-time cost of one elastic
+	// recovery (rendezvous, re-shard, checkpoint reload). 0 = default.
+	RestartOverheadSeconds float64
+	// ReplacementDelaySeconds is the fleet-time cost of one fail-stop
+	// recovery (provisioning a replacement node). 0 = default.
+	ReplacementDelaySeconds float64
+	// CheckpointPath, when set, persists epoch checkpoints through the
+	// crash-safe nn.SaveTrainingFile path instead of keeping them in
+	// memory only.
+	CheckpointPath string
+	// MaxRecoveries bounds recovery attempts (0 = 2x world size).
+	MaxRecoveries int
+}
+
+// Default recovery costs: an elastic restart is a rendezvous plus a
+// checkpoint reload (seconds of fleet time); a fail-stop restart waits out
+// node replacement (minutes).
+const (
+	DefaultRestartOverheadSeconds  = 2.0
+	DefaultReplacementDelaySeconds = 120.0
+)
+
+// Round records one cluster incarnation of an elastic run.
+type Round struct {
+	// Slots are the fleet slots that participated (index = rank).
+	Slots []int
+	// Epochs is the number of epochs the round completed.
+	Epochs int
+	// Failure is the failure that ended the round, nil for the last round.
+	Failure *FleetFailure
+}
+
+// ElasticResult is the outcome of a fault-tolerant run.
+type ElasticResult struct {
+	Rounds []Round
+	// Survivors are the fleet slots alive at the end, ascending.
+	Survivors []int
+	// EpochsCompleted counts epochs whose results were kept (checkpointed
+	// progress; epochs in flight at a failure are lost and retrained).
+	EpochsCompleted int
+	// Losses are the kept epochs' mean losses, in completion order.
+	Losses []float64
+	// UsefulSeconds is fleet time spent on kept epochs; LostSeconds is
+	// work discarded at failures; OverheadSeconds is recovery cost
+	// (restart or replacement). TotalSeconds is their sum.
+	UsefulSeconds   float64
+	LostSeconds     float64
+	OverheadSeconds float64
+	TotalSeconds    float64
+	// Goodput is UsefulSeconds / TotalSeconds (1.0 for a healthy run).
+	Goodput float64
+	// Recoveries counts failures survived.
+	Recoveries int
+	// Replicas are the final round's trained workloads (index = rank).
+	Replicas []models.Workload
+}
+
+// RunElastic trains epochs across a world-slot fleet under opts.Schedule,
+// recovering from fatal events: detect at the barrier via the error latch,
+// drop the dead replicas (or rebuild the world, in fail-stop mode), reload
+// optimizer state from the last epoch checkpoint, re-shard batches across
+// the new world, and resume. Every decision — which ranks die, when, what
+// survives — is a pure function of (factory seeds, schedule), so a rerun
+// with identical inputs reproduces surviving-rank weights bitwise.
+func RunElastic(factory ReplicaFactory, world, epochs int, opts ElasticOptions) (ElasticResult, error) {
+	if world < 1 {
+		return ElasticResult{}, fmt.Errorf("ddp: invalid world size %d", world)
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	if opts.Cluster.Monitors != nil || opts.Cluster.OnEpochEnd != nil {
+		return ElasticResult{}, fmt.Errorf("ddp: ElasticOptions.Cluster must leave Monitors/OnEpochEnd nil")
+	}
+	restart := opts.RestartOverheadSeconds
+	if restart == 0 {
+		restart = DefaultRestartOverheadSeconds
+	}
+	replacement := opts.ReplacementDelaySeconds
+	if replacement == 0 {
+		replacement = DefaultReplacementDelaySeconds
+	}
+	maxRecoveries := opts.MaxRecoveries
+	if maxRecoveries == 0 {
+		maxRecoveries = 2 * world
+	}
+
+	alive := make([]int, world)
+	for i := range alive {
+		alive[i] = i
+	}
+	schedule := append([]fault.Event(nil), opts.Schedule...)
+
+	var res ElasticResult
+	var ckpt []byte // last epoch-boundary training checkpoint (rank 0)
+	origin := 0.0   // fleet time at which the next round's clocks start
+
+	for res.EpochsCompleted < epochs {
+		cfg := opts.Cluster
+		cfg.Monitors = make([]*fault.Monitor, len(alive))
+		for r, slot := range alive {
+			m := fault.NewMonitor(fault.SlotEvents(schedule, slot), true)
+			m.SetOrigin(origin)
+			cfg.Monitors[r] = m
+		}
+
+		// The wrapped factory restores every new replica from the last
+		// checkpoint, so all ranks resume from identical optimizer state.
+		var roundReps []models.Workload
+		roundWorld := len(alive)
+		wrapped := func(rank, w int) (models.Workload, *models.Env) {
+			wl, env := factory(rank, w)
+			if ckpt != nil {
+				cp, ok := wl.(models.Checkpointable)
+				if !ok {
+					panic(fmt.Sprintf("ddp: workload %s is not checkpointable", wl.Name()))
+				}
+				if err := nn.LoadTraining(bytes.NewReader(ckpt), cp.Optimizer()); err != nil {
+					panic(fmt.Sprintf("ddp: restoring replica %d: %v", rank, err))
+				}
+			}
+			for len(roundReps) <= rank {
+				roundReps = append(roundReps, nil)
+			}
+			roundReps[rank] = wl
+			return wl, env
+		}
+
+		// Checkpoint at every epoch barrier: the leader runs this with all
+		// workers blocked, so rank 0's state is stable.
+		var ckptErr error
+		cfg.OnEpochEnd = func(completed int) {
+			cp, ok := roundReps[0].(models.Checkpointable)
+			if !ok {
+				return
+			}
+			var buf bytes.Buffer
+			if err := nn.SaveTraining(&buf, cp.Optimizer()); err != nil {
+				ckptErr = err
+				return
+			}
+			ckpt = buf.Bytes()
+			if opts.CheckpointPath != "" {
+				if err := nn.SaveTrainingFile(opts.CheckpointPath, cp.Optimizer()); err != nil {
+					ckptErr = err
+				}
+			}
+		}
+
+		remaining := epochs - res.EpochsCompleted
+		cr, err := NewCluster(roundWorld, cfg).Run(wrapped, remaining)
+		if ckptErr != nil {
+			return res, fmt.Errorf("ddp: epoch checkpoint failed: %w", ckptErr)
+		}
+		if err == nil {
+			for _, s := range cr.EpochSeconds {
+				res.UsefulSeconds += s
+				origin += s
+			}
+			res.Losses = append(res.Losses, cr.Losses...)
+			res.EpochsCompleted += remaining
+			res.Rounds = append(res.Rounds, Round{Slots: append([]int(nil), alive...), Epochs: remaining})
+			res.Replicas = cr.Replicas
+			break
+		}
+		ff, ok := err.(*FleetFailure)
+		if !ok {
+			return res, err // not a health failure: surface unchanged
+		}
+
+		// Keep the failed round's completed epochs; its in-flight epoch is
+		// lost work.
+		for _, s := range ff.EpochSeconds {
+			res.UsefulSeconds += s
+			origin += s
+		}
+		res.Losses = append(res.Losses, ff.Losses...)
+		res.EpochsCompleted += ff.CompletedEpochs
+		res.LostSeconds += ff.LostSeconds
+		origin += ff.LostSeconds
+		res.Rounds = append(res.Rounds, Round{Slots: append([]int(nil), alive...), Epochs: ff.CompletedEpochs, Failure: ff})
+		res.Recoveries++
+		if res.Recoveries > maxRecoveries {
+			return res, fmt.Errorf("ddp: exceeded %d recoveries: %w", maxRecoveries, ff)
+		}
+
+		// Consume the fatal events that fired: a restarted round must not
+		// re-latch them (the replaced or dropped device is gone).
+		schedule = dropEvents(schedule, ff.Events)
+
+		if opts.FailStop {
+			// Fail-stop baseline: wait out replacement, rebuild at full
+			// size from the checkpoint.
+			res.OverheadSeconds += replacement
+			origin += replacement
+			continue
+		}
+		// Elastic: drop the dead slots, re-shard across survivors.
+		dead := map[int]bool{}
+		for _, r := range ff.DeadRanks {
+			dead[alive[r]] = true
+		}
+		var next []int
+		for _, slot := range alive {
+			if !dead[slot] {
+				next = append(next, slot)
+			}
+		}
+		if len(next) == 0 {
+			return res, fmt.Errorf("ddp: no survivors: %w", ff)
+		}
+		alive = next
+		res.OverheadSeconds += restart
+		origin += restart
+	}
+
+	res.Survivors = append([]int(nil), alive...)
+	sort.Ints(res.Survivors)
+	res.TotalSeconds = res.UsefulSeconds + res.LostSeconds + res.OverheadSeconds
+	if res.TotalSeconds > 0 {
+		res.Goodput = res.UsefulSeconds / res.TotalSeconds
+	}
+	return res, nil
+}
+
+// dropEvents removes the given events (matched by slot, type, and
+// timestamp) from a schedule.
+func dropEvents(schedule, consumed []fault.Event) []fault.Event {
+	out := schedule[:0:0]
+	for _, e := range schedule {
+		drop := false
+		for _, c := range consumed {
+			if e.Slot == c.Slot && e.Type == c.Type && e.At == c.At {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package ddp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gnnmark/internal/fault"
+)
+
+// elasticEpochTime probes one healthy epoch's modeled duration so tests
+// can place fault timestamps at meaningful points of the run.
+func elasticEpochTime(t *testing.T, world int) float64 {
+	t.Helper()
+	cr, err := NewCluster(world, ClusterConfig{}).Run(clusterFactory("TLSTM", "serial"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr.EpochSeconds[0]
+}
+
+// runElasticTLSTM runs the standard elastic scenario: 4 replicas, 3
+// epochs, rank/slot 2 killed by an XID mid-way through epoch 2 (after the
+// epoch-1 checkpoint exists).
+func runElasticTLSTM(t *testing.T, epochT float64, failStop bool) ElasticResult {
+	t.Helper()
+	var in fault.Injector
+	in.InjectXIDAt(2, 79, "GPU has fallen off the bus", epochT*1.5)
+	res, err := RunElastic(clusterFactory("TLSTM", "serial"), 4, 3, ElasticOptions{
+		Schedule: in.Schedule(),
+		FailStop: failStop,
+	})
+	if err != nil {
+		t.Fatalf("elastic run failed: %v", err)
+	}
+	return res
+}
+
+// TestElasticRecoveryGolden: kill rank 2 mid-epoch, recover by re-sharding
+// across the three survivors from the last epoch checkpoint, finish — and
+// pin the whole outcome bitwise across reruns: surviving-rank weights,
+// round structure, and every time accumulator.
+func TestElasticRecoveryGolden(t *testing.T) {
+	epochT := elasticEpochTime(t, 4)
+	a := runElasticTLSTM(t, epochT, false)
+
+	if a.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", a.Recoveries)
+	}
+	if got, want := a.Survivors, []int{0, 1, 3}; len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("survivors = %v, want %v", got, want)
+	}
+	if a.EpochsCompleted != 3 {
+		t.Fatalf("epochs completed = %d, want 3", a.EpochsCompleted)
+	}
+	if len(a.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(a.Rounds))
+	}
+	ff := a.Rounds[0].Failure
+	if ff == nil || len(ff.Events) != 1 || ff.Events[0].Slot != 2 || ff.Events[0].Type != fault.XID {
+		t.Fatalf("round 0 failure misattributed: %+v", ff)
+	}
+	if ff.CompletedEpochs != 1 {
+		t.Fatalf("failure after %d completed epochs, want 1 (mid-epoch-2 kill)", ff.CompletedEpochs)
+	}
+	if a.LostSeconds <= 0 {
+		t.Fatal("mid-epoch failure must lose work")
+	}
+	if a.Goodput <= 0 || a.Goodput >= 1 {
+		t.Fatalf("goodput = %v, want in (0, 1)", a.Goodput)
+	}
+	if len(a.Replicas) != 3 {
+		t.Fatalf("final round has %d replicas, want 3", len(a.Replicas))
+	}
+	// All survivors hold bitwise-identical weights (DDP sync invariant
+	// survives recovery).
+	for r := 1; r < len(a.Replicas); r++ {
+		if v, g := maxRelDiff(t, a.Replicas[r].Params(), a.Replicas[0].Params()); v != 0 || g != 0 {
+			t.Fatalf("replica %d diverged from rank 0 after recovery", r)
+		}
+	}
+
+	// Bitwise replay: a second run of the identical scenario reproduces
+	// weights and accounting exactly.
+	b := runElasticTLSTM(t, epochT, false)
+	if v, g := maxRelDiff(t, b.Replicas[0].Params(), a.Replicas[0].Params()); v != 0 || g != 0 {
+		t.Fatal("rerun weights diverged — recovery is not deterministic")
+	}
+	if a.UsefulSeconds != b.UsefulSeconds || a.LostSeconds != b.LostSeconds ||
+		a.OverheadSeconds != b.OverheadSeconds || a.Goodput != b.Goodput {
+		t.Fatalf("rerun accounting diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatalf("epoch %d loss diverged across reruns", i)
+		}
+	}
+}
+
+// TestElasticBeatsFailStop: at the same single-failure churn, elastic
+// recovery (drop + re-shard, seconds of overhead) achieves strictly better
+// goodput than fail-stop restart (full-world rebuild after a replacement
+// delay).
+func TestElasticBeatsFailStop(t *testing.T) {
+	epochT := elasticEpochTime(t, 4)
+	elastic := runElasticTLSTM(t, epochT, false)
+	failStop := runElasticTLSTM(t, epochT, true)
+
+	if failStop.Recoveries != 1 || len(failStop.Survivors) != 4 {
+		t.Fatalf("fail-stop run: recoveries=%d survivors=%v", failStop.Recoveries, failStop.Survivors)
+	}
+	if elastic.Goodput <= failStop.Goodput {
+		t.Fatalf("elastic goodput %v does not beat fail-stop %v", elastic.Goodput, failStop.Goodput)
+	}
+	if failStop.OverheadSeconds <= elastic.OverheadSeconds {
+		t.Fatal("fail-stop replacement must cost more than an elastic restart")
+	}
+	if failStop.EpochsCompleted != 3 {
+		t.Fatalf("fail-stop completed %d epochs, want 3", failStop.EpochsCompleted)
+	}
+}
+
+// TestElasticNoSurvivors: a schedule that kills the last replica ends in a
+// clean, named abort — never a hang, never a zero-world panic.
+func TestElasticNoSurvivors(t *testing.T) {
+	epochT := elasticEpochTime(t, 2)
+	var in fault.Injector
+	in.InjectXIDAt(0, 79, "bus", epochT*0.5)
+	in.InjectECCAt(1, true, "dbe", epochT*1.2)
+	_, err := RunElastic(clusterFactory("TLSTM", "serial"), 2, 3, ElasticOptions{
+		Schedule: in.Schedule(),
+	})
+	if err == nil {
+		t.Fatal("whole-fleet loss must surface an error")
+	}
+	if !strings.Contains(err.Error(), "no survivors") {
+		t.Fatalf("error %q does not name the fleet exhaustion", err)
+	}
+	var ff *FleetFailure
+	if !errors.As(err, &ff) {
+		t.Fatalf("cause is not a *FleetFailure: %v", err)
+	}
+}

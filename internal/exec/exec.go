@@ -103,6 +103,23 @@ func (g *Group) Err() error {
 	return g.err
 }
 
+// RankError wraps an error with the rank it originated on, so strategies
+// above the latch (elastic DDP, the chaos harness) can attribute a failure
+// to a specific worker. Unwrap exposes the cause to errors.As — e.g. a
+// *fault.FatalError surfaced by a device health panic stays reachable.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("exec: worker %d failed: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RankError) Unwrap() error { return e.Err }
+
 // abortPanic unwinds a worker goroutine after the run has failed; Go's
 // recover treats it as a clean exit (the error is already latched).
 type abortPanic struct{ err error }
@@ -117,7 +134,11 @@ func Abort(err error) {
 
 // Go spawns one worker goroutine. A controlled Abort unwinds silently;
 // any other panic is converted into a run failure so the remaining
-// workers' barriers release. Errors returned by body are latched via Fail.
+// workers' barriers release. A panic whose value is an error (the parked
+// vmem.OOMError and fault.FatalError protocols both panic with one) is
+// promoted into a *RankError wrapping it, keeping the cause reachable
+// through errors.As; other panic values are formatted. Errors returned by
+// body are latched via Fail, also rank-wrapped.
 func (g *Group) Go(rank int, body func() error) {
 	g.wg.Add(1)
 	go func() {
@@ -127,11 +148,15 @@ func (g *Group) Go(rank int, body func() error) {
 				if _, ok := r.(abortPanic); ok {
 					return
 				}
-				g.Fail(fmt.Errorf("exec: worker %d panicked: %v", rank, r))
+				if err, ok := r.(error); ok {
+					g.Fail(&RankError{Rank: rank, Err: err})
+					return
+				}
+				g.Fail(&RankError{Rank: rank, Err: fmt.Errorf("panic: %v", r)})
 			}
 		}()
 		if err := body(); err != nil {
-			g.Fail(err)
+			g.Fail(&RankError{Rank: rank, Err: err})
 		}
 	}()
 }

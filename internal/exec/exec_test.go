@@ -125,3 +125,52 @@ func TestPeerDeltas(t *testing.T) {
 		t.Fatalf("cursor %v, want 2.0", p.LastClock())
 	}
 }
+
+// TestRankErrorPromotion: a worker panic whose value is an error is
+// promoted into a *RankError that keeps the cause reachable through
+// errors.As / errors.Is — the path a device health fatal travels from
+// Launch panic to the group latch.
+func TestRankErrorPromotion(t *testing.T) {
+	cause := errors.New("xid 79: GPU has fallen off the bus")
+
+	g := NewGroup(3)
+	for rank := 0; rank < 3; rank++ {
+		rank := rank
+		g.Go(rank, func() error {
+			if rank == 1 {
+				panic(cause) // device-style fatal: panics with an error value
+			}
+			for {
+				if err := g.Barrier(nil); err != nil {
+					return err
+				}
+			}
+		})
+	}
+	err := g.Wait()
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("latched error %v is not a *RankError", err)
+	}
+	if re.Rank != 1 {
+		t.Fatalf("failure attributed to rank %d, want 1", re.Rank)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause not reachable through Unwrap: %v", err)
+	}
+
+	// Returned errors are rank-wrapped too.
+	g2 := NewGroup(1)
+	g2.Go(0, func() error { return cause })
+	if err := g2.Wait(); !errors.Is(err, cause) {
+		t.Fatalf("returned error lost cause: %v", err)
+	}
+
+	// Non-error panic values still produce an attributed failure.
+	g3 := NewGroup(1)
+	g3.Go(0, func() error { panic("boom") })
+	var re3 *RankError
+	if err := g3.Wait(); !errors.As(err, &re3) || re3.Rank != 0 {
+		t.Fatalf("non-error panic not rank-wrapped: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package fault is the injectable health-event plane of the simulated
+// fleet, modeled on Navarch's Injectable GPU manager: XID errors, ECC
+// single/double bit errors, thermal throttling, NVLink degradation, and
+// whole-replica loss, scheduled deterministically against the simulated
+// clock. Events are injected with *At-style timestamp control, so every
+// chaos run is seeded and bitwise reproducible — the same schedule replays
+// identically no matter how the host goroutines interleave.
+//
+// The package is dependency-free by design: gpu.Device consumes a Monitor
+// through its own small Health interface (throttle multipliers, parked
+// fatal errors), and the elastic DDP layer queries monitors at barrier
+// points where every rank's simulated clock is deterministic.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventType enumerates the health events the fleet can suffer. The set
+// mirrors the DCGM/XID taxonomy Navarch's health plane watches.
+type EventType int
+
+const (
+	// XID is a driver-reported XID error (e.g. 79, "GPU has fallen off
+	// the bus"). The simulated fleet only injects job-fatal XIDs.
+	XID EventType = iota
+	// ECCSBE is a corrected single-bit ECC error: logged, never fatal.
+	ECCSBE
+	// ECCDBE is an uncorrectable double-bit ECC error: the device's
+	// memory is poisoned and the replica must be torn down.
+	ECCDBE
+	// ThermalThrottle clamps the SM clock: kernels and transfers slow by
+	// the event's factor until the run ends, numerics untouched.
+	ThermalThrottle
+	// NVLinkDegrade reduces interconnect bandwidth through the device's
+	// links: collectives and halo exchanges slow, numerics untouched.
+	NVLinkDegrade
+	// ReplicaLoss kills the whole replica process mid-epoch (node crash,
+	// preemption): indistinguishable from a fatal device error to the
+	// survivors.
+	ReplicaLoss
+
+	numEventTypes
+)
+
+// String returns the event type's mnemonic.
+func (t EventType) String() string {
+	switch t {
+	case XID:
+		return "xid"
+	case ECCSBE:
+		return "ecc-sbe"
+	case ECCDBE:
+		return "ecc-dbe"
+	case ThermalThrottle:
+		return "thermal-throttle"
+	case NVLinkDegrade:
+		return "nvlink-degrade"
+	case ReplicaLoss:
+		return "replica-loss"
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// AllEventTypes returns every event type, in declaration order.
+func AllEventTypes() []EventType {
+	out := make([]EventType, 0, numEventTypes)
+	for t := EventType(0); t < numEventTypes; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Severity classifies an event's effect on the training job.
+type Severity int
+
+const (
+	// Info events are logged and counted but change nothing.
+	Info Severity = iota
+	// Degraded events slow the device or its links without corrupting
+	// state: the job limps on with identical numerics.
+	Degraded
+	// Fatal events end the replica: its state is unrecoverable and the
+	// fleet must drop or replace it.
+	Fatal
+)
+
+// String returns the severity's name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Degraded:
+		return "degraded"
+	case Fatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Classify maps an event type to its severity. The mapping is total (every
+// type classifies) and stable (pinned by TestSeverityTaxonomy); elastic
+// recovery and the chaos harness both branch on it, so a type that drifted
+// between fatal and degraded would corrupt recovery decisions.
+func Classify(t EventType) Severity {
+	switch t {
+	case XID, ECCDBE, ReplicaLoss:
+		return Fatal
+	case ThermalThrottle, NVLinkDegrade:
+		return Degraded
+	case ECCSBE:
+		return Info
+	}
+	panic(fmt.Sprintf("fault: unclassified event type %d", int(t)))
+}
+
+// Event is one scheduled health event against one fleet slot.
+type Event struct {
+	// Slot is the fleet position (original device index) the event hits.
+	// Slots are stable across elastic re-sharding; replica rank indices
+	// are not.
+	Slot int
+	// Type selects the failure mode; Severity() derives from it.
+	Type EventType
+	// At is the event's timestamp in fleet-simulated seconds: the event
+	// fires when the slot's device clock (plus the fleet origin) passes it.
+	At float64
+	// Code is the XID code for XID events (0 otherwise).
+	Code int
+	// Factor is the slowdown multiplier (>= 1) for ThermalThrottle
+	// (kernel + transfer time) and NVLinkDegrade (link time); 0 means the
+	// type's default.
+	Factor float64
+	// Msg is the human-readable description carried into errors.
+	Msg string
+}
+
+// Severity returns the event's classification.
+func (e Event) Severity() Severity { return Classify(e.Type) }
+
+// factor returns the effective slowdown multiplier, defaulting per type.
+func (e Event) factor() float64 {
+	if e.Factor > 1 {
+		return e.Factor
+	}
+	switch e.Type {
+	case ThermalThrottle:
+		return DefaultThermalFactor
+	case NVLinkDegrade:
+		return DefaultNVLinkFactor
+	}
+	return 1
+}
+
+// Default slowdown factors: a thermally capped V100 drops from boost to
+// base clocks (~1.35x slower), and a degraded NVLink falls back to half
+// width (2x slower).
+const (
+	DefaultThermalFactor = 1.35
+	DefaultNVLinkFactor  = 2.0
+)
+
+// String renders the event for logs and error messages.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s on slot %d at %.6fs", e.Type, e.Slot, e.At)
+	if e.Type == XID {
+		s = fmt.Sprintf("xid %d on slot %d at %.6fs", e.Code, e.Slot, e.At)
+	}
+	if e.Msg != "" {
+		s += " (" + e.Msg + ")"
+	}
+	return s
+}
+
+// FatalError is the error a fatal health event surfaces as: the simulated
+// device panics with it at the next kernel launch (mirroring the parked
+// vmem.OOMError protocol), or the elastic leader latches it at a barrier.
+type FatalError struct {
+	Event Event
+}
+
+// Error implements error with the event's full identity, so "a clean,
+// named abort" names exactly what killed the rank.
+func (f *FatalError) Error() string {
+	return fmt.Sprintf("fault: fatal health event: %s", f.Event)
+}
+
+// sortEvents orders events deterministically: by timestamp, then slot,
+// then type — a pure function of the schedule's content.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		if events[i].Slot != events[j].Slot {
+			return events[i].Slot < events[j].Slot
+		}
+		return events[i].Type < events[j].Type
+	})
+}

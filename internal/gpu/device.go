@@ -25,8 +25,24 @@ type Device struct {
 	kernelCount  uint64
 	transferSecs float64
 
+	health       Health
+	kernelMult   float64
+	transferMult float64
+
 	kernelListeners   []func(KernelStats)
 	transferListeners []func(TransferStats)
+}
+
+// Health is the device's hook into an injectable health plane (the fault
+// package's Monitor). Poll is called with the device's local simulated clock
+// before every kernel launch and host-device copy; it answers with the
+// slowdown multipliers currently active (1 = healthy) and, when the plane
+// runs in immediate mode, the first due fatal event as a non-nil error. The
+// device panics with that error at the Launch — mirroring the parked
+// vmem.OOMError protocol — so a fatal health event surfaces as a clean,
+// named abort at a deterministic point in the kernel stream.
+type Health interface {
+	Poll(nowSeconds float64) (kernelMult, transferMult float64, fatal error)
 }
 
 // TransferStats describes one host-device copy: the input to the sparsity
@@ -54,12 +70,52 @@ func New(cfg Config) *Device {
 		hbm = DefaultHBMBytes
 	}
 	return &Device{
-		cfg: cfg,
-		l1:  NewCache(cfg.L1SizeKB<<10, cfg.L1LineBytes, cfg.L1Ways),
-		l2:  NewCache(cfg.L2SizeKB<<10, cfg.L2LineBytes, cfg.L2Ways),
-		mem: vmem.New(hbm),
+		cfg:          cfg,
+		l1:           NewCache(cfg.L1SizeKB<<10, cfg.L1LineBytes, cfg.L1Ways),
+		l2:           NewCache(cfg.L2SizeKB<<10, cfg.L2LineBytes, cfg.L2Ways),
+		mem:          vmem.New(hbm),
+		kernelMult:   1,
+		transferMult: 1,
 	}
 }
+
+// AttachHealth installs the device's health plane (nil detaches it and
+// restores healthy multipliers).
+func (d *Device) AttachHealth(h Health) {
+	d.health = h
+	if h == nil {
+		d.kernelMult, d.transferMult = 1, 1
+	}
+}
+
+// pollHealth refreshes the cached slowdown multipliers from the health
+// plane at the current device clock and panics with the fatal error when
+// the plane surfaces one (immediate mode).
+func (d *Device) pollHealth() {
+	if d.health == nil {
+		return
+	}
+	k, x, fatal := d.health.Poll(d.seconds + d.transferSecs)
+	if k < 1 {
+		k = 1
+	}
+	if x < 1 {
+		x = 1
+	}
+	d.kernelMult, d.transferMult = k, x
+	if fatal != nil {
+		panic(fatal)
+	}
+}
+
+// KernelMult returns the health plane's current kernel slowdown (1 when
+// healthy).
+func (d *Device) KernelMult() float64 { return d.kernelMult }
+
+// TransferMult returns the health plane's current transfer slowdown (1 when
+// healthy). Planes that model interconnect time themselves (partitioned
+// halo copies, ring all-reduce) multiply their modeled durations by it.
+func (d *Device) TransferMult() float64 { return d.transferMult }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -162,10 +218,17 @@ func (d *Device) CopyCost(bytes uint64) float64 {
 	return pcieLatency + float64(bytes)/(d.cfg.PCIeBandwidthGBps*1e9)
 }
 
+// TransferCost is CopyCost derated by the health plane's current transfer
+// slowdown: the duration a copy of bytes actually occupies on a stream lane.
+func (d *Device) TransferCost(bytes uint64) float64 {
+	return d.CopyCost(bytes) * d.transferMult
+}
+
 // CopyH2D models a host-to-device copy of bytes with the given fraction of
 // zero values, advancing simulated time by the PCIe transfer cost.
 func (d *Device) CopyH2D(name string, bytes uint64, zeroFraction float64) TransferStats {
-	secs := d.CopyCost(bytes)
+	d.pollHealth()
+	secs := d.CopyCost(bytes) * d.transferMult
 	ts := TransferStats{
 		Name:         name,
 		Bytes:        bytes,
@@ -190,6 +253,7 @@ func (d *Device) Launch(k *Kernel) KernelStats {
 		oom.Kernel = k.Name
 		panic(oom)
 	}
+	d.pollHealth()
 	if k.Threads <= 0 {
 		k.Threads = 32
 	}
@@ -219,6 +283,11 @@ func (d *Device) Launch(k *Kernel) KernelStats {
 	}
 
 	d.timeKernel(k, mem, &stats)
+
+	// A thermal clamp stretches execution time without changing the work:
+	// the same cycles run at a lower clock, so Seconds scales while Cycles,
+	// IPC, and every cache/instruction counter stay bitwise identical.
+	stats.Seconds *= d.kernelMult
 
 	// Host dispatch runs asynchronously ahead of the GPU: launch overhead
 	// only extends the timeline when the kernel is too short to hide it

@@ -108,6 +108,10 @@ func (a *ARGA) DDPCompatible() bool { return false }
 func (a *ARGA) IterationsPerEpoch() int { return 1 }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (a *ARGA) Optimizer() nn.Optimizer { return a.opt }
+
 func (a *ARGA) Params() []*autograd.Param {
 	ps := nn.CollectParams(a.enc1, a.enc2, a.disc1, a.disc2)
 	return append(ps, a.alpha1)

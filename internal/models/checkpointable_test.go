@@ -1,0 +1,16 @@
+package models
+
+// Compile-time pin: every workload (and partitioned wrapper) exposes its
+// optimizer for training checkpoints — elastic recovery depends on it.
+var _ = []Checkpointable{
+	(*ARGA)(nil),
+	(*DGCN)(nil),
+	(*DNN)(nil),
+	(*GW)(nil),
+	(*KGNN)(nil),
+	(*PSAGE)(nil),
+	(*STGCN)(nil),
+	(*TLSTM)(nil),
+	(*PartitionedARGA)(nil),
+	(*PartitionedDGCN)(nil),
+}

@@ -149,6 +149,10 @@ func (m *DGCN) DDPCompatible() bool { return true }
 func (m *DGCN) IterationsPerEpoch() int { return len(m.batches) }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *DGCN) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *DGCN) Params() []*autograd.Param {
 	mods := []nn.Module{m.embed, m.head}
 	for i := range m.convs {

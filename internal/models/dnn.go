@@ -140,6 +140,10 @@ func (m *DNN) DDPCompatible() bool { return true }
 func (m *DNN) IterationsPerEpoch() int { return m.batches }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *DNN) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *DNN) Params() []*autograd.Param {
 	mods := []nn.Module{m.fc1, m.fc2}
 	for i := range m.convs {

@@ -111,6 +111,10 @@ func (m *GW) IterationsPerEpoch() int {
 }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *GW) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *GW) Params() []*autograd.Param {
 	mods := []nn.Module{m.entEmb, m.tokEmb, m.ctxAtt, m.dec, m.proj}
 	for _, b := range m.enc {

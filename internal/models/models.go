@@ -263,3 +263,13 @@ type Workload interface {
 	// batch sampler does not (paper §V-E), so its data is replicated.
 	DDPCompatible() bool
 }
+
+// Checkpointable is implemented by workloads that expose their optimizer
+// for full training checkpoints (nn.SaveTraining / nn.LoadTraining) —
+// parameters plus optimizer state, the unit elastic recovery reloads into
+// fresh replicas. Every built-in workload implements it.
+type Checkpointable interface {
+	Workload
+	// Optimizer returns the live optimizer driving TrainEpoch.
+	Optimizer() nn.Optimizer
+}

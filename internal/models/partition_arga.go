@@ -6,6 +6,7 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/datasets"
 	"gnnmark/internal/graph"
+	"gnnmark/internal/nn"
 	"gnnmark/internal/tensor"
 )
 
@@ -90,6 +91,9 @@ func (w *PartitionedARGA) IterationsPerEpoch() int { return 1 }
 
 // Params implements Workload.
 func (w *PartitionedARGA) Params() []*autograd.Param { return w.inner.Params() }
+
+// Optimizer exposes the inner workload's optimizer (models.Checkpointable).
+func (w *PartitionedARGA) Optimizer() nn.Optimizer { return w.inner.Optimizer() }
 
 // BindComm implements PartWorkload.
 func (w *PartitionedARGA) BindComm(c PartComm) {

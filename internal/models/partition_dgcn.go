@@ -87,6 +87,9 @@ func (w *PartitionedDGCN) IterationsPerEpoch() int { return len(w.batches) }
 // Params implements Workload.
 func (w *PartitionedDGCN) Params() []*autograd.Param { return w.inner.Params() }
 
+// Optimizer exposes the inner workload's optimizer (models.Checkpointable).
+func (w *PartitionedDGCN) Optimizer() nn.Optimizer { return w.inner.Optimizer() }
+
 // BindComm implements PartWorkload.
 func (w *PartitionedDGCN) BindComm(c PartComm) {
 	if c.World() != w.world || c.Rank() != w.rank {

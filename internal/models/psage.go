@@ -125,6 +125,10 @@ func (m *PSAGE) DDPCompatible() bool { return false }
 func (m *PSAGE) IterationsPerEpoch() int { return m.batches }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *PSAGE) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *PSAGE) Params() []*autograd.Param {
 	return append(m.layer1.params(), m.layer2.params()...)
 }

@@ -158,6 +158,10 @@ func (m *STGCN) DDPCompatible() bool { return true }
 func (m *STGCN) IterationsPerEpoch() int { return len(m.starts) / m.batchSize }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *STGCN) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *STGCN) Params() []*autograd.Param {
 	mods := []nn.Module{m.outT, m.outFC}
 	for _, b := range m.blocks {

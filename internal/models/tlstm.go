@@ -88,6 +88,10 @@ func (m *TLSTM) IterationsPerEpoch() int {
 }
 
 // Params implements Workload.
+// Optimizer exposes the workload's optimizer for training
+// checkpointing (models.Checkpointable).
+func (m *TLSTM) Optimizer() nn.Optimizer { return m.opt }
+
 func (m *TLSTM) Params() []*autograd.Param {
 	return nn.CollectParams(m.embed, m.cell, m.head)
 }

@@ -125,16 +125,20 @@ func SaveTraining(w io.Writer, opt Optimizer) error {
 		if err := writeString(w, "adam"); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(o.step)); err != nil {
-			return fmt.Errorf("nn: writing adam step: %w", err)
+		if err := writeAdamState(w, o); err != nil {
+			return err
 		}
-		for i, p := range o.params {
-			if err := writeTensorData(w, p.Name+".m", o.m[i]); err != nil {
-				return err
-			}
-			if err := writeTensorData(w, p.Name+".v", o.v[i]); err != nil {
-				return err
-			}
+	case *ScheduledAdam:
+		// The wrapper carries its own schedule step on top of the inner
+		// Adam state; both must survive a restore for bitwise resume.
+		if err := writeString(w, "sched-adam"); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(o.step)); err != nil {
+			return fmt.Errorf("nn: writing schedule step: %w", err)
+		}
+		if err := writeAdamState(w, o.Adam); err != nil {
+			return err
 		}
 	case *SGD:
 		if err := writeString(w, "sgd"); err != nil {
@@ -186,18 +190,20 @@ func LoadTraining(r io.Reader, opt Optimizer) error {
 		if kind != "adam" {
 			return fmt.Errorf("nn: checkpoint optimizer is %q, model uses adam", kind)
 		}
+		if err := readAdamState(r, o); err != nil {
+			return err
+		}
+	case *ScheduledAdam:
+		if kind != "sched-adam" {
+			return fmt.Errorf("nn: checkpoint optimizer is %q, model uses sched-adam", kind)
+		}
 		var step uint32
 		if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
-			return fmt.Errorf("nn: reading adam step: %w", err)
+			return fmt.Errorf("nn: reading schedule step: %w", err)
 		}
 		o.step = int(step)
-		for i, p := range o.params {
-			if err := readTensorData(r, p.Name+".m", o.m[i]); err != nil {
-				return err
-			}
-			if err := readTensorData(r, p.Name+".v", o.v[i]); err != nil {
-				return err
-			}
+		if err := readAdamState(r, o.Adam); err != nil {
+			return err
 		}
 	case *SGD:
 		if kind != "sgd" {
@@ -221,6 +227,40 @@ func LoadTraining(r io.Reader, opt Optimizer) error {
 	default:
 		if kind != "none" {
 			return fmt.Errorf("nn: checkpoint optimizer is %q, model's optimizer carries no state", kind)
+		}
+	}
+	return nil
+}
+
+// writeAdamState writes the step count and per-parameter moment buffers.
+func writeAdamState(w io.Writer, o *Adam) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(o.step)); err != nil {
+		return fmt.Errorf("nn: writing adam step: %w", err)
+	}
+	for i, p := range o.params {
+		if err := writeTensorData(w, p.Name+".m", o.m[i]); err != nil {
+			return err
+		}
+		if err := writeTensorData(w, p.Name+".v", o.v[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAdamState restores the step count and moment buffers.
+func readAdamState(r io.Reader, o *Adam) error {
+	var step uint32
+	if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+		return fmt.Errorf("nn: reading adam step: %w", err)
+	}
+	o.step = int(step)
+	for i, p := range o.params {
+		if err := readTensorData(r, p.Name+".m", o.m[i]); err != nil {
+			return err
+		}
+		if err := readTensorData(r, p.Name+".v", o.v[i]); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"gnnmark/internal/autograd"
 	"gnnmark/internal/ddp"
 	"gnnmark/internal/exec"
+	"gnnmark/internal/fault"
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/nn"
@@ -46,6 +47,14 @@ type Config struct {
 	// Overlap selects boundary-first overlapped halo exchange; false
 	// serializes every exchange behind the slowest rank's full compute.
 	Overlap bool
+	// Monitors, when non-nil, attaches one health-event monitor per rank
+	// (len must equal world). Monitors should be in immediate mode: a due
+	// fatal event panics at the rank's next kernel launch and surfaces from
+	// Train as a rank-attributed error (exec.RankError wrapping
+	// fault.FatalError); degraded events stretch kernel and halo times.
+	// Event timestamps are training-relative: Train rebases each monitor's
+	// origin so construction-time kernels cannot trip the schedule.
+	Monitors []*fault.Monitor
 }
 
 // Factory builds one rank's partition workload, its Env, and the simulated
@@ -158,7 +167,9 @@ func (wk *worker) copySeconds(wireBytes uint64) float64 {
 		return 0
 	}
 	bw := wk.eng.cfg.Comm.NVLinkBandwidthGBps * 1e9
-	return float64(wireBytes)/bw + wk.eng.cfg.Comm.NVLinkLatencyUS*1e-6
+	secs := float64(wireBytes)/bw + wk.eng.cfg.Comm.NVLinkLatencyUS*1e-6
+	// Health-plane interconnect degradation stretches the halo wire time.
+	return secs * wk.dev.TransferMult()
 }
 
 // closeComputeSpan replays the device time spent since the previous
@@ -318,10 +329,19 @@ func Train(factory Factory, world, epochs int, cfg Config) (*Result, error) {
 	if world < 1 {
 		return nil, fmt.Errorf("partitioned: invalid world size %d", world)
 	}
+	if cfg.Monitors != nil && len(cfg.Monitors) != world {
+		return nil, fmt.Errorf("partitioned: %d monitors for world size %d", len(cfg.Monitors), world)
+	}
 	g := exec.NewGroup(world)
 	eng := &engine{g: g, gather: exec.NewGather(g), cfg: cfg, world: world}
 	for rank := 0; rank < world; rank++ {
 		w, env, dev := factory(rank, world)
+		if cfg.Monitors != nil {
+			// Rebase the schedule to training time: the device clock already
+			// holds construction kernels, so map clock-now to fleet time 0.
+			cfg.Monitors[rank].SetOrigin(-dev.ElapsedSeconds())
+			dev.AttachHealth(cfg.Monitors[rank])
+		}
 		wk := &worker{eng: eng, rank: rank, w: w, env: env, dev: dev}
 		wk.tl = stream.New(dev)
 		wk.compute = wk.tl.NewStream("compute")

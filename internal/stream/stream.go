@@ -200,6 +200,6 @@ func (s *Stream) Launch(k *gpu.Kernel) gpu.KernelStats {
 // the transfer.
 func (s *Stream) CopyH2D(name string, rawBytes, wireBytes uint64, zeroFraction float64) gpu.TransferStats {
 	ts := s.tl.dev.CopyH2D(name, rawBytes, zeroFraction)
-	s.enqueue(name, "copy", s.tl.dev.CopyCost(wireBytes), wireBytes)
+	s.enqueue(name, "copy", s.tl.dev.TransferCost(wireBytes), wireBytes)
 	return ts
 }
