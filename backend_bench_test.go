@@ -1,136 +1,57 @@
 package gnnmark
 
 import (
-	"math/rand"
 	"testing"
 
 	"gnnmark/internal/backend"
+	"gnnmark/internal/opbench"
 )
 
-// Serial-vs-parallel backend benchmarks over the three kernel shapes the
-// suite spends its time in: a square GEMM (model layers), a Cora-scale SpMM
-// (full-graph aggregation), and a 1M-element pointwise op. The small-op
-// variants check that Tree-LSTM-sized launches do not regress under the
-// parallel backend (they must take its serial fallback path).
+// Serial-vs-parallel backend benchmarks over the opbench shape classes: the
+// exact case definitions `gnnmark opbench` sweeps (internal/opbench/shapes.go),
+// so `go test -bench BackendOps` sub-benchmark names line up with
+// BENCH_opbench.json result keys and the two views describe identical work.
+// Tree-LSTM-sized cases (GEMM/tlstm.gates, ElementWise/tlstm.small) double as
+// the small-launch guard: the parallel backend must take its serial fallback
+// there and stay within noise of it.
 
-func randSlice(rng *rand.Rand, n int) []float32 {
-	s := make([]float32, n)
-	for i := range s {
-		s[i] = rng.Float32()*2 - 1
-	}
-	return s
-}
-
-// coraCSR builds a random CSR at the scale of the Cora citation graph:
-// 2708 nodes, ~10556 directed edges.
-func coraCSR(rng *rand.Rand) (rowPtr, colIdx []int32, rows int) {
-	rows = 2708
-	const nnz = 10556
-	counts := make([]int32, rows)
-	for i := 0; i < nnz; i++ {
-		counts[rng.Intn(rows)]++
-	}
-	rowPtr = make([]int32, rows+1)
-	for i, c := range counts {
-		rowPtr[i+1] = rowPtr[i] + c
-	}
-	colIdx = make([]int32, nnz)
-	for i := range colIdx {
-		colIdx[i] = int32(rng.Intn(rows))
-	}
-	return rowPtr, colIdx, rows
-}
-
-func backendsUnderTest(b *testing.B) map[string]backend.Backend {
-	b.Helper()
-	return map[string]backend.Backend{
-		"serial":   backend.NewSerial(),
-		"parallel": backend.NewParallel(),
-	}
-}
-
-// BenchmarkBackendGEMM512 multiplies two 512x512 matrices: the acceptance
-// shape for the parallel backend's >=2x speedup target.
-func BenchmarkBackendGEMM512(b *testing.B) {
-	const n = 512
-	rng := rand.New(rand.NewSource(1))
-	a := randSlice(rng, n*n)
-	bm := randSlice(rng, n*n)
-	out := make([]float32, n*n)
-	for name, be := range backendsUnderTest(b) {
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				for j := range out {
-					out[j] = 0
+// BenchmarkBackendOps measures every opbench case on every backend.
+func BenchmarkBackendOps(b *testing.B) {
+	for _, c := range opbench.Cases() {
+		for _, name := range backend.Names() {
+			be, err := backend.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := c.Runner(1)
+			b.Run(c.Key()+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(c.Bytes)
+				for i := 0; i < b.N; i++ {
+					run(be)
 				}
-				be.MatMul(a, bm, out, n, n, n)
-			}
-		})
+			})
+		}
 	}
 }
 
-// BenchmarkBackendSpMMCora aggregates 128-wide features over a Cora-scale
-// CSR adjacency.
-func BenchmarkBackendSpMMCora(b *testing.B) {
-	const f = 128
-	rng := rand.New(rand.NewSource(1))
-	rowPtr, colIdx, rows := coraCSR(rng)
-	x := randSlice(rng, rows*f)
-	out := make([]float32, rows*f)
-	for name, be := range backendsUnderTest(b) {
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				for j := range out {
-					out[j] = 0
+// BenchmarkBackendSmoke measures only the smoke subset — the cases the CI
+// perf gate re-measures every push.
+func BenchmarkBackendSmoke(b *testing.B) {
+	for _, c := range opbench.SmokeCases() {
+		for _, name := range backend.Names() {
+			be, err := backend.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := c.Runner(1)
+			b.Run(c.Key()+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(c.Bytes)
+				for i := 0; i < b.N; i++ {
+					run(be)
 				}
-				be.SpMM(rowPtr, colIdx, nil, x, out, rows, f)
-			}
-		})
-	}
-}
-
-// BenchmarkBackendElementWise1M applies a fused axpy over 1M elements.
-func BenchmarkBackendElementWise1M(b *testing.B) {
-	const n = 1 << 20
-	rng := rand.New(rand.NewSource(1))
-	x := randSlice(rng, n)
-	y := randSlice(rng, n)
-	out := make([]float32, n)
-	for name, be := range backendsUnderTest(b) {
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				be.AddScaled(out, x, y, 0.5)
-			}
-		})
-	}
-}
-
-// BenchmarkBackendSmallOps runs Tree-LSTM-sized kernels (a 32x128x512 gate
-// GEMM and a 4K-element pointwise op) where parallel must fall back to the
-// serial path and stay within noise of it.
-func BenchmarkBackendSmallOps(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	const m, k, n = 32, 128, 512
-	a := randSlice(rng, m*k)
-	w := randSlice(rng, k*n)
-	gemmOut := make([]float32, m*n)
-	const ewN = 4096
-	x := randSlice(rng, ewN)
-	y := randSlice(rng, ewN)
-	ewOut := make([]float32, ewN)
-	for name, be := range backendsUnderTest(b) {
-		b.Run("GEMM32x128x512/"+name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				for j := range gemmOut {
-					gemmOut[j] = 0
-				}
-				be.MatMul(a, w, gemmOut, m, n, k)
-			}
-		})
-		b.Run("EW4096/"+name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				be.AddScaled(ewOut, x, y, 0.5)
-			}
-		})
+			})
+		}
 	}
 }

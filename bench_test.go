@@ -51,6 +51,7 @@ func requireText(b *testing.B, text string, frags ...string) {
 // that feeds Figures 2-8: training every workload on the simulated V100
 // with the profiler attached.
 func BenchmarkCharacterizeSuite(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Characterize(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -60,6 +61,7 @@ func BenchmarkCharacterizeSuite(b *testing.B) {
 
 // BenchmarkTable1 regenerates the suite inventory (Table I).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		requireText(b, Table1(), "PinSAGE", "Tree-LSTM", "PROTEINS")
 	}
@@ -68,6 +70,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig2 regenerates the execution-time breakdown (Figure 2).
 func BenchmarkFig2(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig2(), "GEMM", "ElementWise", "PSAGE(MVL)")
@@ -77,6 +80,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkFig3 regenerates the instruction mix (Figure 3).
 func BenchmarkFig3(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig3(), "int32", "fp32", "average")
@@ -86,6 +90,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig4 regenerates the GFLOPS/GIOPS rates (Figure 4).
 func BenchmarkFig4(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig4(), "GFLOPS", "IPC")
@@ -95,6 +100,7 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5 regenerates the stall breakdown (Figure 5).
 func BenchmarkFig5(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig5(), "memdep", "ifetch", "per-operation")
@@ -104,6 +110,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates cache hit rates and divergence (Figure 6).
 func BenchmarkFig6(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig6(), "L1", "divergent")
@@ -113,6 +120,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the transfer-sparsity averages (Figure 7).
 func BenchmarkFig7(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig7(), "sparsity", "est.compr")
@@ -122,6 +130,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates the sparsity-over-iterations series (Figure 8).
 func BenchmarkFig8(b *testing.B) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		requireText(b, s.Fig8(), "iterations")
@@ -131,6 +140,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates the multi-GPU strong-scaling study (Figure 9):
 // each iteration re-runs the 7-workload x {1,2,4}-GPU DDP simulation.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Fig9(core.RunConfig{Seed: 1, SampledWarps: 512})
 		if err != nil {
@@ -150,6 +160,7 @@ func BenchmarkWorkloadEpoch(b *testing.B) {
 			label = sr.Workload + "_" + sr.Dataset
 		}
 		b.Run(label, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := benchCfg()
 				cfg.Workload, cfg.Dataset = sr.Workload, sr.Dataset

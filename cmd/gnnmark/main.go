@@ -9,6 +9,8 @@
 //	gnnmark run -workload PSAGE -dataset NWP [flags]
 //	gnnmark all [flags]
 //	gnnmark ablate-fp16 [flags]
+//	gnnmark opbench -out BENCH_opbench.json [-smoke]
+//	gnnmark benchdiff [-warn-only] OLD.json NEW.json
 //
 // Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
 // is faster), -workload KEY, -dataset NAME; -pipeline-depth N enables the
@@ -30,6 +32,7 @@ import (
 	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/obs"
+	"gnnmark/internal/opbench"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/report"
 	"gnnmark/internal/stream"
@@ -65,6 +68,13 @@ func main() {
 	pipelineDepth := fs.Int("pipeline-depth", 0, "asynchronous input pipeline prefetch depth (0 = synchronous loading; numerics are identical either way)")
 	loaderWorkers := fs.Int("loader-workers", 0, "input-loader worker goroutines (0 = default; affects host scheduling only)")
 	compressH2D := fs.Bool("compress-h2d", false, "time H2D copies on sparsity-encoded bytes (zero-run/bitmap codec); requires -pipeline-depth > 0")
+	benchOut := fs.String("out", "BENCH_opbench.json", "output path for the opbench report")
+	benchSmoke := fs.Bool("smoke", false, "opbench: run the reduced CI sweep (smoke-marked shapes, lighter repetition plan)")
+	benchReps := fs.Int("reps", 0, "opbench: timed repetitions per measurement (0 = default plan)")
+	benchBackends := fs.String("backends", "", "opbench: comma-separated backend names (empty = all)")
+	diffBudget := fs.Float64("budget", 1.10, "benchdiff: regression budget as a median ratio (1.10 = fail beyond +10%)")
+	diffMADK := fs.Float64("mad-k", 4, "benchdiff: significance bar in combined MADs")
+	diffWarnOnly := fs.Bool("warn-only", false, "benchdiff: report regressions without failing (coverage/schema drift still fails)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -93,6 +103,11 @@ func main() {
 		res, err := bench.FigP(figpCfg)
 		fail(err)
 		fmt.Print(bench.FormatFigP(res, figpCfg.PipelineDepth, figpCfg.CompressH2D))
+		writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
+	case "opbench":
+		runOpbench(*benchOut, *benchSmoke, *benchReps, *benchBackends, *seed)
+	case "benchdiff":
+		runBenchdiff(fs.Args(), *diffBudget, *diffMADK, *diffWarnOnly)
 	case "run":
 		cfg.Workload = *workload
 		cfg.Dataset = *dataset
@@ -141,6 +156,9 @@ func main() {
 				line += ", " + pipeSummary(r.Pipe[i])
 			}
 			fmt.Println(line)
+			if i < len(r.HostOpClasses) {
+				fmt.Printf("obs epoch %d op classes: %s\n", i+1, r.HostOpClasses[i].Summary(hp.PhaseNanos()))
+			}
 		}
 		if len(r.HostPhases) == 0 {
 			// Without host observability the pipeline stats still print.
@@ -207,10 +225,12 @@ func main() {
 		res, err := bench.FigPart(cfg)
 		fail(err)
 		fmt.Print(bench.FormatFigPart(res))
+		writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
 	case "figf":
 		res, err := bench.FigF(cfg)
 		fail(err)
 		fmt.Print(bench.FormatFigF(res))
+		writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
 	case "sweep":
 		var vals []int
 		for _, f := range strings.Split(*sweepVals, ",") {
@@ -323,6 +343,67 @@ func runWithTrace(cfg core.RunConfig, path string) {
 	fail(trace.WriteEvents(f, events))
 	fmt.Printf("%s: wrote %d timeline events to %s (open in chrome://tracing)\n",
 		spec.Key, len(events), path)
+}
+
+// runOpbench executes the per-op microbenchmark sweep and writes the
+// BENCH_opbench.json trajectory point. Progress goes to stderr so the
+// artifact path on stdout stays scriptable.
+func runOpbench(out string, smoke bool, reps int, backends string, seed int64) {
+	cfg := opbench.Config{
+		Smoke: smoke,
+		Reps:  reps,
+		Seed:  seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if backends != "" {
+		for _, b := range strings.Split(backends, ",") {
+			cfg.Backends = append(cfg.Backends, strings.TrimSpace(b))
+		}
+	}
+	rep, err := opbench.Run(cfg)
+	fail(err)
+	fail(rep.WriteFile(out))
+	mode := "full"
+	if smoke {
+		mode = "smoke"
+	}
+	fmt.Printf("wrote %d measurements (%s sweep) to %s\n", len(rep.Results), mode, out)
+}
+
+// runBenchdiff compares two opbench reports and renders the benchstat-style
+// table. Exit codes: 2 for schema or shape-coverage drift (always fatal),
+// 1 for a regression beyond the budget (suppressed by -warn-only), 0
+// otherwise. Flags must precede the two positional report paths.
+func runBenchdiff(paths []string, budget, madK float64, warnOnly bool) {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: gnnmark benchdiff [-budget N] [-mad-k N] [-warn-only] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := opbench.ReadFile(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark:", err)
+		os.Exit(2)
+	}
+	cur, err := opbench.ReadFile(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark:", err)
+		os.Exit(2)
+	}
+	d, err := opbench.Compare(old, cur, opbench.DiffConfig{Budget: budget, MADK: madK})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnmark:", err)
+		os.Exit(2)
+	}
+	fmt.Print(d.Markdown())
+	if d.CoverageDrift() {
+		fmt.Fprintln(os.Stderr, "gnnmark: shape coverage drift — the new report is missing required measurements")
+		os.Exit(2)
+	}
+	if d.Regressions > 0 && !warnOnly {
+		os.Exit(1)
+	}
 }
 
 // pipeSummary renders one epoch's input-pipeline accounting: overlapped vs
@@ -468,8 +549,10 @@ commands:
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
+  opbench          per-op microbenchmark sweep over workload shape classes on both backends (-out, -smoke, -reps, -backends)
+  benchdiff        noise-aware comparison of two opbench reports (-budget, -mad-k, -warn-only, then OLD.json NEW.json)
 flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N  -hbm-gb N
        -parallelism ddp|partitioned  -overlap=true|false  (run: multi-GPU execution plane; partitioned = one graph part per GPU, halo exchange)
        -pipeline-depth N  -loader-workers N  -compress-h2d  (asynchronous input pipeline; identical numerics)
-       -trace FILE  -metrics-out FILE  -host-trace FILE  (run: device trace / host metrics JSON / merged host+device trace)`)
+       -trace FILE  -metrics-out FILE  -host-trace FILE  (run/figp/figpart/figf: device trace / host metrics JSON / merged host+device trace)`)
 }

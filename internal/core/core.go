@@ -241,6 +241,10 @@ type RunResult struct {
 	// HostPhases is the per-epoch host wall-clock phase breakdown; empty
 	// unless obs.Enabled during the run.
 	HostPhases []obs.PhaseBreakdown
+	// HostOpClasses is the per-epoch host-time attribution by gpu.OpClass
+	// (the engine's per-op interval accounting); empty unless obs.Enabled
+	// during the run. Index-aligned with HostPhases.
+	HostOpClasses []ops.OpClassBreakdown
 	// Mem snapshots the device allocator after training: peak-live is the
 	// per-iteration footprint high-water mark (the memory figure's input).
 	Mem vmem.Stats
@@ -337,6 +341,7 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		ParamCount: nn.NumParams(w.Params()),
 	}
 	lastCap := obs.CapturePhases()
+	lastOpCap := ops.CaptureOpClasses()
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		epochScope := env.E.Track().Begin("epoch", obs.CatPhase)
 		res.Losses = append(res.Losses, w.TrainEpoch())
@@ -346,6 +351,9 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			cap1 := obs.CapturePhases()
 			res.HostPhases = append(res.HostPhases, lastCap.Delta(cap1))
 			lastCap = cap1
+			opCap := ops.CaptureOpClasses()
+			res.HostOpClasses = append(res.HostOpClasses, opCap.Delta(lastOpCap))
+			lastOpCap = opCap
 		}
 		prof.MarkEpoch()
 		if pe, ok := env.E.EpochPipeStats(); ok {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gnnmark/internal/gpu"
+	"gnnmark/internal/obs"
 )
 
 func TestRegistryCoversTableI(t *testing.T) {
@@ -62,6 +63,36 @@ func TestRunARGA(t *testing.T) {
 	}
 	if res.Report.AvgSparsity < 0.5 {
 		t.Fatalf("ARGA/cora H2D sparsity = %.2f, want high (sparse BoW features)", res.Report.AvgSparsity)
+	}
+}
+
+// TestRunAttributesHostTimeToOpClasses pins the attribution guarantee: with
+// observability on, the per-op-class accounting must cover at least 90% of
+// the host time the phase spans measure (the op stream is where engine host
+// time goes), and ARGA's dominant classes must be present.
+func TestRunAttributesHostTimeToOpClasses(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Reset()
+		obs.Disable()
+	}()
+	res, err := Run(RunConfig{Workload: "ARGA", Epochs: 2, SampledWarps: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HostOpClasses) != 2 || len(res.HostPhases) != 2 {
+		t.Fatalf("per-epoch attribution missing: %d op-class, %d phase breakdowns",
+			len(res.HostOpClasses), len(res.HostPhases))
+	}
+	for i, b := range res.HostOpClasses {
+		if b.Nanos[gpu.OpGEMM] <= 0 || b.Nanos[gpu.OpSpMM] <= 0 {
+			t.Fatalf("epoch %d: ARGA must attribute host time to GEMM and SpMM: %s", i, b.Summary(0))
+		}
+		phaseNs := res.HostPhases[i].PhaseNanos()
+		if cov := b.Coverage(phaseNs); cov < 0.9 {
+			t.Fatalf("epoch %d: op-class attribution covers %.1f%% of phase host time, want >= 90%%\n%s",
+				i, 100*cov, b.Summary(phaseNs))
+		}
 	}
 }
 

@@ -6,10 +6,12 @@
 package obs_test
 
 import (
+	"sync"
 	"testing"
 
 	"gnnmark/internal/backend"
 	"gnnmark/internal/datasets"
+	"gnnmark/internal/gpu"
 	"gnnmark/internal/models"
 	"gnnmark/internal/obs"
 	"gnnmark/internal/ops"
@@ -78,6 +80,77 @@ func TestOpPathZeroAllocsWhenDisabled(t *testing.T) {
 	if instrumented > baseline {
 		t.Fatalf("disabled obs adds allocations to the op path: %.1f vs baseline %.1f allocs/op",
 			instrumented, baseline)
+	}
+}
+
+// TestOpClassHistogramsZeroAllocsWhenDisabled checks the per-op-class
+// attribution histograms (registered by internal/ops at init, one per
+// gpu.OpClass) record alloc-free on both sides of the gate — the histogram
+// array is indexed by class, so no metric-name strings are built either.
+func TestOpClassHistogramsZeroAllocsWhenDisabled(t *testing.T) {
+	obs.Disable()
+	hists := make([]*obs.Histogram, 0, gpu.NumOpClasses)
+	for _, c := range gpu.AllOpClasses() {
+		hists = append(hists, obs.GetHistogram("ops.class."+c.String()+".host_nanos", obs.DurationBuckets()))
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for _, h := range hists {
+			h.Observe(1234)
+		}
+	}); n != 0 {
+		t.Fatalf("disabled per-class histograms allocate: %.1f allocs/op", n)
+	}
+	obs.Enable()
+	defer func() {
+		obs.Reset()
+		obs.Disable()
+	}()
+	if n := testing.AllocsPerRun(200, func() {
+		for _, h := range hists {
+			h.Observe(1234)
+		}
+	}); n != 0 {
+		t.Fatalf("enabled per-class histograms allocate: %.1f allocs/op", n)
+	}
+}
+
+// TestConcurrentEngineEpochsRace trains independent replicas on separate
+// goroutines with observability enabled: each engine records spans and
+// per-class attribution into the shared registry concurrently. Run under
+// -race (CI does), this pins the lock-free recording paths.
+func TestConcurrentEngineEpochsRace(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Reset()
+		obs.Disable()
+	}()
+	const replicas = 4
+	var wg sync.WaitGroup
+	errs := make([]error, replicas)
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg, err := gpu.Preset("")
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			cfg.MaxSampledWarps = 64
+			env := models.NewEnv(ops.NewWith(gpu.New(cfg), backend.Default()), int64(rank+1))
+			defer env.Close()
+			w := models.NewARGA(env, datasets.NewCitation(env.RNG, "cora"), models.ARGAConfig{})
+			w.TrainEpoch()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs.GetHistogram("ops.class.GEMM.host_nanos", obs.DurationBuckets()).Count() == 0 {
+		t.Fatal("concurrent epochs recorded no GEMM attribution")
 	}
 }
 

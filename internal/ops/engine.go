@@ -199,7 +199,7 @@ func (e *Engine) launch(k *gpu.Kernel) {
 	} else {
 		e.dev.Launch(k)
 	}
-	e.recordLaunch(k.Name, k.Class.String())
+	e.recordLaunch(k.Name, k.Class)
 }
 
 // CopyH2D models transferring t from host to device, recording its zero
