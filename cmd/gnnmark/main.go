@@ -11,6 +11,7 @@
 //	gnnmark ablate-fp16 [flags]
 //	gnnmark opbench -out BENCH_opbench.json [-smoke]
 //	gnnmark benchdiff [-warn-only] OLD.json NEW.json
+//	gnnmark serve-bench [-replicas N -batches 1,4,16 -cache-rows 0,1024] [-smoke]
 //
 // Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
 // is faster), -workload KEY, -dataset NAME; -pipeline-depth N enables the
@@ -35,6 +36,7 @@ import (
 	"gnnmark/internal/opbench"
 	"gnnmark/internal/ops"
 	"gnnmark/internal/report"
+	"gnnmark/internal/serve"
 	"gnnmark/internal/stream"
 	"gnnmark/internal/trace"
 	"gnnmark/internal/vmem"
@@ -69,12 +71,20 @@ func main() {
 	loaderWorkers := fs.Int("loader-workers", 0, "input-loader worker goroutines (0 = default; affects host scheduling only)")
 	compressH2D := fs.Bool("compress-h2d", false, "time H2D copies on sparsity-encoded bytes (zero-run/bitmap codec); requires -pipeline-depth > 0")
 	benchOut := fs.String("out", "BENCH_opbench.json", "output path for the opbench report")
-	benchSmoke := fs.Bool("smoke", false, "opbench: run the reduced CI sweep (smoke-marked shapes, lighter repetition plan)")
+	benchSmoke := fs.Bool("smoke", false, "opbench: reduced CI sweep; serve-bench: single low-load arm asserting nonzero QPS and zero rejects")
 	benchReps := fs.Int("reps", 0, "opbench: timed repetitions per measurement (0 = default plan)")
 	benchBackends := fs.String("backends", "", "opbench: comma-separated backend names (empty = all)")
 	diffBudget := fs.Float64("budget", 1.10, "benchdiff: regression budget as a median ratio (1.10 = fail beyond +10%)")
 	diffMADK := fs.Float64("mad-k", 4, "benchdiff: significance bar in combined MADs")
 	diffWarnOnly := fs.Bool("warn-only", false, "benchdiff: report regressions without failing (coverage/schema drift still fails)")
+	serveReplicas := fs.Int("replicas", 2, "serve-bench: frozen-replica count, one simulated device each")
+	serveQPS := fs.Float64("serve-qps", 0, "serve-bench: offered open-loop arrival rate (0 = 4x the measured batch-1 capacity)")
+	serveDuration := fs.Float64("serve-duration", 0, "serve-bench: arrival-trace horizon in simulated seconds (0 = 400 batch-1 service times)")
+	maxWaitUS := fs.Float64("max-wait-us", 0, "serve-bench: micro-batching window in microseconds (0 = one batch-1 service time)")
+	queueCap := fs.Int("queue-cap", 64, "serve-bench: admission-queue bound; arrivals beyond it are rejected (negative = unbounded)")
+	serveBatches := fs.String("batches", "1,4,16", "serve-bench: comma-separated MaxBatch policy arms")
+	cacheRows := fs.String("cache-rows", "0,1024", "serve-bench: comma-separated embedding-cache sizes in rows (0 = no cache)")
+	arrivalsPath := fs.String("arrivals", "", "serve-bench: replay this arrival-trace file (\"<timestamp_us> <item>\" lines) instead of generating one")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -230,6 +240,60 @@ func main() {
 		res, err := bench.FigF(cfg)
 		fail(err)
 		fmt.Print(bench.FormatFigF(res))
+		writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
+	case "serve-bench":
+		// The flagship serving workload is PinSAGE; -workload overrides.
+		cfg.Workload = "PSAGE"
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				cfg.Workload = *workload
+			}
+		})
+		cfg.Dataset = *dataset
+		scfg := bench.ServeConfig{
+			Run:            cfg,
+			Replicas:       *serveReplicas,
+			QPS:            *serveQPS,
+			Duration:       *serveDuration,
+			MaxWaitSeconds: *maxWaitUS * 1e-6,
+			QueueCap:       *queueCap,
+			Batches:        parseInts(*serveBatches),
+			CacheRows:      parseInts(*cacheRows),
+		}
+		if *arrivalsPath != "" {
+			f, err := os.Open(*arrivalsPath)
+			fail(err)
+			reqs, err := serve.ParseArrivalTrace(f)
+			f.Close()
+			fail(err)
+			scfg.Arrivals = reqs
+		}
+		if *benchSmoke {
+			// One low-load arm on a reduced device model: a healthy endpoint
+			// must complete requests and reject nothing.
+			scfg.Run.Epochs = 1
+			scfg.Run.SampledWarps = 256
+			scfg.Replicas = 1
+			scfg.LoadFactor = 0.5
+			scfg.Batches = []int{8}
+			scfg.CacheRows = []int{256}
+		}
+		res, err := bench.FigS(scfg)
+		fail(err)
+		fmt.Print(bench.FormatFigS(res))
+		if *benchSmoke {
+			for _, row := range res.Rows {
+				if row.Stats.QPS <= 0 {
+					fail(fmt.Errorf("serve-bench smoke: arm b%d/c%d served zero QPS",
+						row.MaxBatch, row.CacheRows))
+				}
+				if row.Stats.Rejected > 0 {
+					fail(fmt.Errorf("serve-bench smoke: arm b%d/c%d rejected %d requests at low load",
+						row.MaxBatch, row.CacheRows, row.Stats.Rejected))
+				}
+			}
+			fmt.Println("serve-bench smoke: ok — nonzero QPS, zero rejects at low load")
+		}
 		writeObsOutputs(*metricsOut, *hostTrace, nil, nil)
 	case "sweep":
 		var vals []int
@@ -463,6 +527,21 @@ func rankLanes(lanes [][]stream.Lane) []stream.Lane {
 	return out
 }
 
+// parseInts parses a comma-separated integer list (sweep arms and the like).
+func parseInts(s string) []int {
+	var vals []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		fail(err)
+		vals = append(vals, v)
+	}
+	return vals
+}
+
 func labelOf(sr core.SuiteRun) string {
 	if sr.Workload == "PSAGE" {
 		return sr.Workload + "(" + sr.Dataset + ")"
@@ -527,13 +606,20 @@ func fail(err error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gnnmark <command> [flags]
 commands:
-  table1       print the suite inventory (Table I)
-  fig2..fig8   regenerate one figure of the paper
-  fig9         multi-GPU strong-scaling study
-  figm         per-workload device-memory footprint table
-  figp         asynchronous-input-pipeline study: sync vs overlapped epoch time (-pipeline-depth, -compress-h2d)
-  run          characterize one workload (-workload, -dataset)
-  all          everything
+  run              characterize one workload (-workload, -dataset; -gpus N for executed multi-GPU training)
+  all              the full reproduction: Table I plus every figure
+  table1           print the suite inventory (Table I)
+  fig2..fig8       regenerate one figure of the paper
+  fig9             multi-GPU strong-scaling study
+  figm             per-workload device-memory footprint table
+  figp             asynchronous-input-pipeline study: sync vs overlapped epoch time (-pipeline-depth, -compress-h2d)
+  figpart          executed DDP vs executed graph-partitioned training: scaling, comm volume, edge-cut sweep (-gpus)
+  figf             goodput under churn: fault-injected fleet, elastic drop-and-reshard vs fail-stop replacement (-gpus, -seed)
+  serve-bench      Figure S, the inference serving plane: QPS vs tail latency across micro-batch policies and
+                   embedding-cache sizes on frozen-weight replicas (-replicas, -serve-qps, -serve-duration,
+                   -max-wait-us, -queue-cap, -batches, -cache-rows, -arrivals FILE, -smoke)
+  opbench          per-op microbenchmark sweep over workload shape classes on both backends (-out, -smoke, -reps, -backends)
+  benchdiff        noise-aware comparison of two opbench reports (-budget, -mad-k, -warn-only, then OLD.json NEW.json)
   infer            training-vs-inference op-mix contrast (-workload)
   dnn-contrast     GNN suite vs conventional-CNN baseline
   weakscale        fixed-per-GPU-batch scaling study (-workload)
@@ -544,15 +630,11 @@ commands:
   roofline         per-operation roofline placement (-workload, -gpu)
   sweep            hyperparameter sweep (-sweep WORKLOAD/param -values a,b,c)
   partitioned      ROC-style partitioned full-graph ARGA scaling what-if (analytical)
-  figpart          executed DDP vs executed graph-partitioned training: scaling, comm volume, edge-cut sweep (-gpus)
-  figf             goodput under churn: fault-injected fleet, elastic drop-and-reshard vs fail-stop replacement (-gpus, -seed)
   report           write the full characterization as an HTML page (-trace sets the path)
   datasets         structural statistics of every synthetic dataset
   params           per-workload parameter and iteration counts
-  opbench          per-op microbenchmark sweep over workload shape classes on both backends (-out, -smoke, -reps, -backends)
-  benchdiff        noise-aware comparison of two opbench reports (-budget, -mad-k, -warn-only, then OLD.json NEW.json)
 flags: -epochs N  -seed N  -warps N  -workload KEY  -dataset NAME  -backend serial|parallel  -gpus N  -hbm-gb N
        -parallelism ddp|partitioned  -overlap=true|false  (run: multi-GPU execution plane; partitioned = one graph part per GPU, halo exchange)
        -pipeline-depth N  -loader-workers N  -compress-h2d  (asynchronous input pipeline; identical numerics)
-       -trace FILE  -metrics-out FILE  -host-trace FILE  (run/figp/figpart/figf: device trace / host metrics JSON / merged host+device trace)`)
+       -trace FILE  -metrics-out FILE  -host-trace FILE  (run/figp/figpart/figf/serve-bench: device trace / host metrics JSON / merged host+device trace)`)
 }

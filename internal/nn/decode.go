@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model-free checkpoint decoding. LoadParams/LoadTraining validate a stream
+// against a live model's parameter set; the serving plane instead needs the
+// weights *before* any model exists (serve.Freeze builds its engine-resident
+// copy from them), so these decoders read the same formats into plain
+// SavedParam values with no autograd involvement.
+
+// decodeMaxRank and decodeMaxSize bound a decoded parameter's shape so a
+// corrupt or hostile stream cannot make the decoder allocate absurd buffers.
+// The largest real parameter in the suite (kGNN's hidden weights) is far
+// below both limits.
+const (
+	decodeMaxRank = 8
+	decodeMaxSize = 1 << 28 // 256M floats = 1 GiB per parameter
+)
+
+// SavedParam is one decoded checkpoint parameter: its registered name, its
+// shape in row-major order, and its float32 data.
+type SavedParam struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// Size returns the number of elements implied by the shape.
+func (p SavedParam) Size() int {
+	n := 1
+	for _, d := range p.Shape {
+		n *= d
+	}
+	return n
+}
+
+// DecodeParams reads a SaveParams stream (GNNMARK1) and returns the saved
+// parameters in checkpoint order, without needing a model to load into.
+func DecodeParams(r io.Reader) ([]SavedParam, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("nn: not a gnnmark checkpoint (magic %q)", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("nn: reading parameter count: %w", err)
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("nn: implausible parameter count %d", count)
+	}
+	params := make([]SavedParam, 0, count)
+	for i := 0; i < int(count); i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return nil, fmt.Errorf("nn: reading %s rank: %w", name, err)
+		}
+		if rank > decodeMaxRank {
+			return nil, fmt.Errorf("nn: %s has implausible rank %d", name, rank)
+		}
+		shape := make([]int, rank)
+		size := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return nil, fmt.Errorf("nn: reading %s shape: %w", name, err)
+			}
+			if d == 0 || d > decodeMaxSize {
+				return nil, fmt.Errorf("nn: %s dim %d is implausible (%d)", name, j, d)
+			}
+			shape[j] = int(d)
+			size *= int(d)
+			if size > decodeMaxSize {
+				return nil, fmt.Errorf("nn: %s exceeds the decoder size bound", name)
+			}
+		}
+		buf := make([]byte, 4*size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("nn: reading %s data: %w", name, err)
+		}
+		data := make([]float32, size)
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		params = append(params, SavedParam{Name: name, Shape: shape, Data: data})
+	}
+	return params, nil
+}
+
+// DecodeTrainingParams reads a SaveTraining stream (GNNMARKT) and returns
+// only its parameters, skipping the optimizer state that follows — the
+// serving plane freezes weights and has no use for Adam moments.
+func DecodeTrainingParams(r io.Reader) ([]SavedParam, error) {
+	magic := make([]byte, len(trainingMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading training magic: %w", err)
+	}
+	if string(magic) != trainingMagic {
+		return nil, fmt.Errorf("nn: not a gnnmark training checkpoint (magic %q)", magic)
+	}
+	return DecodeParams(r)
+}

@@ -27,13 +27,25 @@ type GaugeSnapshot struct {
 }
 
 // HistogramSnapshot is one histogram's state. Counts has one entry per
-// bound plus a final overflow bucket; entries are non-cumulative.
+// bound plus a final overflow bucket; entries are non-cumulative. P50/P95/
+// P99 are the interpolated quantile estimates at snapshot time (see
+// Histogram.Quantile); serving latency SLOs read them directly from the
+// export.
 type HistogramSnapshot struct {
 	Name   string  `json:"name"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// Quantile computes the interpolated q-quantile of the snapshotted
+// distribution (the frozen-counts analogue of Histogram.Quantile).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.Bounds, h.Counts, q)
 }
 
 // Snapshot copies the registry's current metric values.
@@ -49,13 +61,19 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, n := range sortedNames(r.histograms) {
 		h := r.histograms[n]
-		s.Histograms = append(s.Histograms, HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Name:   n,
 			Count:  h.count.Load(),
 			Sum:    h.sum.Load(),
 			Bounds: append([]int64(nil), h.bounds...),
 			Counts: h.BucketCounts(),
-		})
+		}
+		// Quantiles derive from the copied counts, so the snapshot stays
+		// self-consistent even if observations race the copy.
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
+		s.Histograms = append(s.Histograms, hs)
 	}
 	return s
 }

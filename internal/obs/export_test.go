@@ -42,6 +42,14 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	if len(hs.Counts) != len(hs.Bounds)+1 {
 		t.Fatalf("counts/bounds mismatch: %d vs %d", len(hs.Counts), len(hs.Bounds))
 	}
+	// 3 observations over bounds [10,100]: the median interpolates halfway
+	// into the middle bucket, the tail quantiles clamp at the last bound.
+	if hs.P50 != 55 || hs.P95 != 100 || hs.P99 != 100 {
+		t.Fatalf("quantiles = p50 %v p95 %v p99 %v, want 55/100/100", hs.P50, hs.P95, hs.P99)
+	}
+	if got := hs.Quantile(0.5); got != hs.P50 {
+		t.Fatalf("snapshot Quantile(0.5) = %v, want %v", got, hs.P50)
+	}
 }
 
 func TestWritePrometheusGolden(t *testing.T) {
@@ -59,6 +67,12 @@ backend_task_nanos_bucket{le="100"} 2
 backend_task_nanos_bucket{le="+Inf"} 3
 backend_task_nanos_sum 555
 backend_task_nanos_count 3
+# TYPE backend_task_nanos_p50 gauge
+backend_task_nanos_p50 55
+# TYPE backend_task_nanos_p95 gauge
+backend_task_nanos_p95 100
+# TYPE backend_task_nanos_p99 gauge
+backend_task_nanos_p99 100
 `
 	if got := buf.String(); got != want {
 		t.Fatalf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)

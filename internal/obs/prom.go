@@ -3,13 +3,16 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
 // WritePrometheus writes the registry's metrics in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, histograms as cumulative le-labeled bucket series plus _sum
-// and _count. Metric names are sanitized (dots become underscores).
+// and _count, and the interpolated p50/p95/p99 estimates as companion
+// gauges (<name>_p50 ...) so SLO dashboards need no PromQL quantile math.
+// Metric names are sanitized (dots become underscores).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	var sb strings.Builder
@@ -32,6 +35,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
 		fmt.Fprintf(&sb, "%s_sum %d\n", n, h.Sum)
 		fmt.Fprintf(&sb, "%s_count %d\n", n, h.Count)
+		// The grammar allows one TYPE per name, so the quantile estimates
+		// go out as companion gauges rather than extra histogram series.
+		for _, pq := range [...]struct {
+			suffix string
+			v      float64
+		}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}} {
+			fmt.Fprintf(&sb, "# TYPE %s_%s gauge\n%s_%s %s\n",
+				n, pq.suffix, n, pq.suffix, strconv.FormatFloat(pq.v, 'g', -1, 64))
+		}
 	}
 	if _, err := io.WriteString(w, sb.String()); err != nil {
 		return fmt.Errorf("obs: writing prometheus exposition: %w", err)

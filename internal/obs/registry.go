@@ -248,6 +248,69 @@ func (h *Histogram) Sum() int64 {
 // Bounds returns the bucket upper bounds (shared slice; do not mutate).
 func (h *Histogram) Bounds() []int64 { return h.bounds }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// bucket that holds the target rank. The estimate is exact at bucket
+// boundaries and degrades with bucket width in between; serving-latency
+// dashboards call it for p50/p95/p99. Observations in the overflow bucket
+// clamp to the last bound (the histogram cannot see past it), and an empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return QuantileFromBuckets(h.bounds, h.BucketCounts(), q)
+}
+
+// QuantileFromBuckets computes the interpolated q-quantile of a bucketed
+// distribution: bounds are the inclusive per-bucket upper bounds and counts
+// holds one entry per bound plus a final overflow bucket (the Histogram and
+// HistogramSnapshot layouts). The total is taken from counts itself so a
+// copied snapshot is always self-consistent.
+func QuantileFromBuckets(bounds []int64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper edge; clamp to the last bound.
+			return float64(bounds[len(bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(bounds[i-1])
+		} else if bounds[0] < 0 {
+			// All-negative first bucket: its lower edge is unknown; use
+			// the bound itself rather than inventing mass below it.
+			lo = float64(bounds[0])
+		}
+		hi := float64(bounds[i])
+		frac := (rank - cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return float64(bounds[len(bounds)-1])
+}
+
 // BucketCounts returns the per-bucket observation counts, non-cumulative;
 // the final entry is the overflow bucket.
 func (h *Histogram) BucketCounts() []int64 {

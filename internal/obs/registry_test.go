@@ -131,3 +131,73 @@ func TestResetKeepsHandlesValid(t *testing.T) {
 		t.Fatal("Counter() returned a new handle after reset")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 40})
+	// 10 observations in (10,20]: quantiles interpolate linearly across
+	// that bucket, so pN lands at 10 + N/10 of the bucket width.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.5, 15}, {0.95, 19.5}, {1, 20},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(1.5); got != 20 {
+		t.Errorf("Quantile(1.5) = %v, want 20", got)
+	}
+	if got := h.Quantile(-1); got != 10 {
+		t.Errorf("Quantile(-1) = %v, want 10", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	empty := r.Histogram("empty", []int64{10, 20})
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v, want 0", got)
+	}
+
+	// Overflow observations clamp to the last bound: the histogram cannot
+	// see past it.
+	over := r.Histogram("over", []int64{10, 20})
+	over.Observe(1_000_000)
+	over.Observe(2_000_000)
+	if got := over.Quantile(0.99); got != 20 {
+		t.Errorf("overflow Quantile = %v, want 20", got)
+	}
+
+	// A first bucket holding negative observations uses its own bound as
+	// the lower edge instead of inventing mass below it.
+	neg := r.Histogram("neg", []int64{-5, 10})
+	neg.Observe(-7)
+	if got := neg.Quantile(0.5); got != -5 {
+		t.Errorf("negative-bucket Quantile = %v, want -5", got)
+	}
+
+	// Multi-bucket spread: ranks must skip empty buckets correctly.
+	multi := r.Histogram("multi", []int64{10, 20, 30, 40})
+	for _, v := range []int64{5, 5, 35, 35} {
+		multi.Observe(v)
+	}
+	if got := multi.Quantile(0.25); got != 5 {
+		t.Errorf("multi Quantile(0.25) = %v, want 5", got)
+	}
+	if got := multi.Quantile(1); got != 40 {
+		t.Errorf("multi Quantile(1) = %v, want 40", got)
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+// EmbedCache is an LRU cache of finished item embeddings, keyed by item id.
+// Serving embeddings are pure functions of (frozen weights, item id) — the
+// batch-invariance contract of models.Servable — so a cached row is bitwise
+// the row recomputation would produce and the cache is semantically
+// transparent: it only removes sampling + gather + forward device time for
+// repeated items.
+//
+// The cache is single-owner (the server event loop) and needs no locking;
+// hit/miss counts are kept here and surfaced through Server stats/metrics.
+type EmbedCache struct {
+	cap     int
+	entries map[int32]*cacheEntry
+	// Doubly-linked LRU list; head.next is most recent, tail.prev oldest.
+	head, tail *cacheEntry
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	id         int32
+	row        []float32
+	prev, next *cacheEntry
+}
+
+// NewEmbedCache returns an LRU cache holding up to capacity embedding rows;
+// capacity <= 0 returns nil, and a nil cache misses every lookup (serving
+// with caching disabled).
+func NewEmbedCache(capacity int) *EmbedCache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &EmbedCache{cap: capacity, entries: make(map[int32]*cacheEntry, capacity)}
+	c.head = &cacheEntry{}
+	c.tail = &cacheEntry{}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// Get returns the cached embedding row for id, marking it most recently
+// used, or nil on a miss. The returned slice is owned by the cache; callers
+// must not mutate it.
+func (c *EmbedCache) Get(id int32) []float32 {
+	if c == nil {
+		return nil
+	}
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.row
+}
+
+// Put stores a copy of row for id, evicting the least recently used entry
+// when full. Re-putting an existing id refreshes its recency (the row is
+// identical by the purity contract, so the old copy is kept).
+func (c *EmbedCache) Put(id int32, row []float32) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[id]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		oldest := c.tail.prev
+		c.unlink(oldest)
+		delete(c.entries, oldest.id)
+	}
+	e := &cacheEntry{id: id, row: append([]float32(nil), row...)}
+	c.entries[id] = e
+	c.pushFront(e)
+}
+
+// Len returns the number of cached rows.
+func (c *EmbedCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Hits returns the number of Get calls that found their id.
+func (c *EmbedCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits
+}
+
+// Misses returns the number of Get calls that did not.
+func (c *EmbedCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses
+}
+
+func (c *EmbedCache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *EmbedCache) pushFront(e *cacheEntry) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}

@@ -1,0 +1,120 @@
+// Package serve is the inference serving plane: a forward-only execution
+// mode layered on the simulated-GPU engine stack, characterizing the
+// latency-bound, concurrent, cache-sensitive behavior that training
+// benchmarks never exercise (gSuite's argument for GNN inference as its own
+// benchmark problem).
+//
+// The plane is built from five pieces:
+//
+//	freeze  — Weights: a read-only parameter snapshot (from nn.SaveTraining
+//	          or live params) shared across replicas.
+//	queue   — AdmissionQueue: bounded FIFO with typed overload rejection.
+//	batcher — Server: dynamic micro-batching under a max-batch/max-wait
+//	          policy, dispatching to the earliest-free replica.
+//	engine  — Replica: a goroutine owning one model instance on its own
+//	          simulated device; request cost is the device-clock delta of
+//	          the forward pass.
+//	cache   — EmbedCache: LRU over finished item embeddings, hit at
+//	          admission (skipping queue and compute entirely).
+//
+// Time is simulated throughout: arrivals, batching deadlines, and
+// completions advance a discrete-event clock, and service times come from
+// the replicas' gpu.Device kernel model. Everything is a pure function of
+// (frozen weights, request trace, policy), so a serving benchmark is
+// bit-reproducible run to run — the property gnnmark serve-bench's golden
+// output rests on.
+package serve
+
+import (
+	"fmt"
+
+	"gnnmark/internal/tensor"
+)
+
+// Model is the forward-only surface a servable workload exposes
+// (models.Servable satisfies it structurally; serve does not import
+// models). ServeEmbed must be deterministic per id and batch-invariant —
+// a request's row is bitwise identical alone or micro-batched — which is
+// what makes batching and caching transparent.
+type Model interface {
+	ServeEmbed(ids []int32) *tensor.Tensor
+	NumItems() int
+	EmbedDim() int
+}
+
+// Request is one inference query: embed item Item, arriving at sim time
+// Time (seconds). User identifies the closed-loop issuer (-1 for open
+// arrivals); Seq is a global arrival sequence number used only for
+// deterministic tie-breaks.
+type Request struct {
+	Time float64
+	Item int32
+	User int
+	Seq  int
+}
+
+// Replica owns one model instance on its own engine/device and serves
+// micro-batches sequentially on a dedicated goroutine. The event loop
+// dispatches a batch and waits for its device cost — sim-time parallelism
+// across replicas is modeled by their independent freeAt clocks, while the
+// goroutine hop keeps the -race detector watching the handoff.
+type Replica struct {
+	rank  int
+	model Model
+	clock func() float64
+	in    chan replicaCall
+}
+
+type replicaCall struct {
+	ids   []int32
+	reply chan replicaResult
+}
+
+type replicaResult struct {
+	emb    *tensor.Tensor
+	device float64
+	err    error
+}
+
+// NewReplica wraps model (already loaded with frozen weights) and its
+// device-clock reader, and starts the serving goroutine. rank breaks
+// scheduling ties deterministically.
+func NewReplica(rank int, model Model, clock func() float64) *Replica {
+	r := &Replica{rank: rank, model: model, clock: clock, in: make(chan replicaCall)}
+	go r.run()
+	return r
+}
+
+// Rank returns the replica's scheduling rank.
+func (r *Replica) Rank() int { return r.rank }
+
+func (r *Replica) run() {
+	for call := range r.in {
+		call.reply <- r.serveOne(call.ids)
+	}
+}
+
+// serveOne runs one micro-batch, converting a model panic (corrupt weights,
+// out-of-range id) into an error so one bad request cannot kill the plane.
+func (r *Replica) serveOne(ids []int32) (res replicaResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = replicaResult{err: fmt.Errorf("serve: replica %d panicked: %v", r.rank, p)}
+		}
+	}()
+	before := r.clock()
+	emb := r.model.ServeEmbed(ids)
+	return replicaResult{emb: emb, device: r.clock() - before}
+}
+
+// Serve embeds ids on the replica's goroutine, returning the embedding rows
+// and the simulated device seconds the batch consumed.
+func (r *Replica) Serve(ids []int32) (*tensor.Tensor, float64, error) {
+	reply := make(chan replicaResult)
+	r.in <- replicaCall{ids: ids, reply: reply}
+	res := <-reply
+	return res.emb, res.device, res.err
+}
+
+// Close stops the replica's goroutine. The replica must be idle.
+func (r *Replica) Close() { close(r.in) }

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzArrivalTrace: the trace parser must never panic, and every rejection
+// must be the typed *TraceError (reader I/O aside) — malformed, duplicate,
+// and out-of-order timestamps included.
+func FuzzArrivalTrace(f *testing.F) {
+	f.Add("100 5\n250 7\n")
+	f.Add("# comment\n\n100 1\n")
+	f.Add("100 1\n50 2\n")
+	f.Add("100 1\n100 2\n")
+	f.Add("-5 1\n")
+	f.Add("abc def\n")
+	f.Add("100\n")
+	f.Add("100 1 2 3\n")
+	f.Add("9223372036854775807 2147483647\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("100 -1\n")
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := ParseArrivalTrace(strings.NewReader(input))
+		if err != nil {
+			var te *TraceError
+			if !errors.As(err, &te) {
+				t.Fatalf("non-typed error %T: %v", err, err)
+			}
+			if te.Line <= 0 {
+				t.Fatalf("TraceError without a line: %+v", te)
+			}
+			return
+		}
+		// Accepted traces uphold the invariants the server relies on.
+		last := -1.0
+		for i, r := range reqs {
+			if r.Time <= last {
+				t.Fatalf("request %d at %v not strictly after %v", i, r.Time, last)
+			}
+			last = r.Time
+			if r.Item < 0 {
+				t.Fatalf("request %d negative item %d", i, r.Item)
+			}
+			if r.Seq != i {
+				t.Fatalf("request %d has seq %d", i, r.Seq)
+			}
+		}
+	})
+}

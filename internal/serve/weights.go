@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/nn"
+)
+
+// Weights is a frozen model snapshot: parameter values only — no tape, no
+// optimizer state — held immutably and shared read-only across every
+// serving replica. Replicas each own a model instance on their own device;
+// LoadInto copies the frozen values into a replica's parameters at
+// construction time, after which the snapshot is never written.
+type Weights struct {
+	params []nn.SavedParam
+	byName map[string]int
+}
+
+// Freeze reads a training checkpoint stream (nn.SaveTraining format) and
+// returns its weights, discarding the optimizer state — the serving plane
+// restores inference behavior, not training progress.
+func Freeze(r io.Reader) (*Weights, error) {
+	params, err := nn.DecodeTrainingParams(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: freezing checkpoint: %w", err)
+	}
+	return newWeights(params), nil
+}
+
+// FreezeParams snapshots live training parameters directly (deep copy), for
+// serving a model that was just trained in-process without a checkpoint
+// round-trip.
+func FreezeParams(params []*autograd.Param) *Weights {
+	saved := make([]nn.SavedParam, len(params))
+	for i, p := range params {
+		saved[i] = nn.SavedParam{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape()...),
+			Data:  append([]float32(nil), p.Value.Data()...),
+		}
+	}
+	return newWeights(saved)
+}
+
+func newWeights(params []nn.SavedParam) *Weights {
+	w := &Weights{params: params, byName: make(map[string]int, len(params))}
+	for i, p := range params {
+		w.byName[p.Name] = i
+	}
+	return w
+}
+
+// Len returns the number of frozen parameters.
+func (w *Weights) Len() int { return len(w.params) }
+
+// LoadInto copies the frozen values into params, matching by name; every
+// destination parameter must exist in the snapshot with the same shape.
+// The snapshot itself is not mutated, so one Weights can initialize any
+// number of replicas.
+func (w *Weights) LoadInto(params []*autograd.Param) error {
+	for _, p := range params {
+		i, ok := w.byName[p.Name]
+		if !ok {
+			return fmt.Errorf("serve: frozen snapshot has no parameter %q", p.Name)
+		}
+		s := w.params[i]
+		if s.Size() != p.Value.Size() {
+			return fmt.Errorf("serve: parameter %q has %d frozen elements, model expects %d",
+				p.Name, s.Size(), p.Value.Size())
+		}
+		copy(p.Value.Data(), s.Data)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gnnmark/internal/autograd"
+	"gnnmark/internal/nn"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/tensor"
+)
+
+func testParams(seed int64) []*autograd.Param {
+	rng := rand.New(rand.NewSource(seed))
+	l1 := nn.NewLinear(rng, "m.l1", 3, 4, true)
+	l2 := nn.NewLinear(rng, "m.l2", 4, 2, false)
+	return nn.CollectParams(l1, l2)
+}
+
+func TestFreezeFromTrainingCheckpoint(t *testing.T) {
+	params := testParams(1)
+	opt := nn.NewAdam(ops.New(nil), params, 1e-3)
+	// Step once so the checkpoint carries nonzero optimizer state Freeze
+	// must skip over.
+	for _, p := range params {
+		p.Grad = p.Value.Clone()
+	}
+	opt.Step()
+
+	var buf bytes.Buffer
+	if err := nn.SaveTraining(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Freeze(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != len(params) {
+		t.Fatalf("frozen %d params, want %d", w.Len(), len(params))
+	}
+
+	// Load into a differently-initialized twin: bitwise restore.
+	twin := testParams(2)
+	if err := w.LoadInto(twin); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		for j, v := range p.Value.Data() {
+			if twin[i].Value.Data()[j] != v {
+				t.Fatalf("%s element %d not bitwise-restored", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestFreezeParamsIsDeepCopy(t *testing.T) {
+	params := testParams(3)
+	w := FreezeParams(params)
+	before := params[0].Value.Data()[0]
+	params[0].Value.Data()[0] = before + 100
+
+	twin := testParams(4)
+	if err := w.LoadInto(twin); err != nil {
+		t.Fatal(err)
+	}
+	if twin[0].Value.Data()[0] != before {
+		t.Fatal("snapshot aliased live training parameters")
+	}
+	// One snapshot initializes many replicas identically.
+	twin2 := testParams(5)
+	if err := w.LoadInto(twin2); err != nil {
+		t.Fatal(err)
+	}
+	if twin2[0].Value.Data()[0] != before {
+		t.Fatal("second LoadInto diverged")
+	}
+}
+
+func TestLoadIntoMismatches(t *testing.T) {
+	w := FreezeParams(testParams(6))
+	missing := []*autograd.Param{autograd.NewParam("nope", tensor.New(2, 2))}
+	if err := w.LoadInto(missing); err == nil {
+		t.Fatal("unknown parameter name accepted")
+	}
+	wrongShape := []*autograd.Param{autograd.NewParam("m.l1.w", tensor.New(1))}
+	if err := w.LoadInto(wrongShape); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
