@@ -12,6 +12,7 @@
 //	gnnmark opbench -out BENCH_opbench.json [-smoke]
 //	gnnmark benchdiff [-warn-only] OLD.json NEW.json
 //	gnnmark serve-bench [-replicas N -batches 1,4,16 -cache-rows 0,1024] [-smoke]
+//	gnnmark scenario run|check FILE...
 //
 // Flags: -epochs N, -seed N, -warps N (cache-replay sampling budget; lower
 // is faster), -workload KEY, -dataset NAME; -pipeline-depth N enables the
@@ -54,7 +55,7 @@ func main() {
 	warps := fs.Int("warps", 4096, "max sampled warps per kernel (model fidelity/speed)")
 	workload := fs.String("workload", "ARGA", "workload key (run command)")
 	dataset := fs.String("dataset", "", "dataset name (run command; empty = default)")
-	gpuName := fs.String("gpu", "v100", "device preset: v100, p100, a100")
+	gpuName := fs.String("gpu", "v100", "device preset: v100, p100, a100, h100")
 	target := fs.Float64("target", 0.5, "loss target for the ttt command")
 	sweepKey := fs.String("sweep", "DGCN/layers", "sweep key: WORKLOAD/param (sweep command)")
 	sweepVals := fs.String("values", "4,14,28", "comma-separated sweep values")
@@ -118,6 +119,8 @@ func main() {
 		runOpbench(*benchOut, *benchSmoke, *benchReps, *benchBackends, *seed)
 	case "benchdiff":
 		runBenchdiff(fs.Args(), *diffBudget, *diffMADK, *diffWarnOnly)
+	case "scenario":
+		runScenario(fs.Args())
 	case "run":
 		cfg.Workload = *workload
 		cfg.Dataset = *dataset
@@ -618,6 +621,9 @@ commands:
   serve-bench      Figure S, the inference serving plane: QPS vs tail latency across micro-batch policies and
                    embedding-cache sizes on frozen-weight replicas (-replicas, -serve-qps, -serve-duration,
                    -max-wait-us, -queue-cap, -batches, -cache-rows, -arrivals FILE, -smoke)
+  scenario         declarative chaos harness: "scenario run FILE..." executes scenario files (fleet + workload +
+                   timed events + assertions) deterministically and exits non-zero on a failed assertion;
+                   "scenario check FILE..." parses and validates without executing (see scenarios/)
   opbench          per-op microbenchmark sweep over workload shape classes on both backends (-out, -smoke, -reps, -backends)
   benchdiff        noise-aware comparison of two opbench reports (-budget, -mad-k, -warn-only, then OLD.json NEW.json)
   infer            training-vs-inference op-mix contrast (-workload)

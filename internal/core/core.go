@@ -187,6 +187,14 @@ type RunConfig struct {
 	// exceeds the budget return a *vmem.OOMError naming the failing kernel
 	// and the top live allocations.
 	HBMGB float64
+	// Devices, when non-empty, pins an explicit device model per fleet
+	// slot, overriding GPU/HBMGB: slot i (= rank under DDP/partitioned,
+	// the only device when GPUs <= 1) runs on Devices[i]. The scenario
+	// plane uses this to declare heterogeneous fleets (mixed V100/A100/
+	// H100 nodes); SampledWarps/HalfPrecision/BypassL1 still apply on top.
+	// Device models shape timing only — numerics are identical across
+	// presets — so mixed fleets keep every equivalence guarantee.
+	Devices []gpu.Config
 	// Backend selects the CPU numerics backend: "serial" (default) or
 	// "parallel". Both produce bitwise-identical results; parallel tiles
 	// large kernels across a worker pool to speed up simulation wall-clock.
@@ -290,15 +298,9 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			spec.Key, dataset, spec.Datasets)
 	}
 
-	devCfg, err := gpu.Preset(cfg.GPU)
+	devCfg, err := cfg.DeviceConfig(0)
 	if err != nil {
 		return RunResult{}, err
-	}
-	devCfg.MaxSampledWarps = cfg.SampledWarps
-	devCfg.HalfPrecision = cfg.HalfPrecision
-	devCfg.BypassL1 = cfg.BypassL1
-	if cfg.HBMGB > 0 {
-		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
 	}
 	be, err := backend.New(cfg.Backend)
 	if err != nil {
@@ -377,10 +379,47 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	return res, nil
 }
 
-// DDPFactory returns the per-rank replica builder for cfg's workload —
-// the factory RunDDP, the elastic fault harness (ddp.RunElastic), and the
-// goodput-under-churn study all share.
-func DDPFactory(cfg RunConfig) (ddp.ReplicaFactory, error) {
+// DeviceConfig resolves the device model for one fleet slot: the explicit
+// per-slot override when Devices is set, otherwise the GPU preset with the
+// shared HBMGB budget applied. The fidelity knobs (SampledWarps,
+// HalfPrecision, BypassL1) apply on top either way.
+func (c *RunConfig) DeviceConfig(slot int) (gpu.Config, error) {
+	var devCfg gpu.Config
+	if len(c.Devices) > 0 {
+		if slot < 0 || slot >= len(c.Devices) {
+			return gpu.Config{}, fmt.Errorf("core: fleet slot %d outside the %d declared devices",
+				slot, len(c.Devices))
+		}
+		devCfg = c.Devices[slot]
+	} else {
+		var err error
+		devCfg, err = gpu.Preset(c.GPU)
+		if err != nil {
+			return gpu.Config{}, err
+		}
+		if c.HBMGB > 0 {
+			devCfg.HBMBytes = int64(c.HBMGB * (1 << 30))
+		}
+	}
+	if c.SampledWarps > 0 {
+		devCfg.MaxSampledWarps = c.SampledWarps
+	}
+	devCfg.HalfPrecision = c.HalfPrecision
+	devCfg.BypassL1 = c.BypassL1
+	return devCfg, nil
+}
+
+// SlotReplicaFactory builds replica `rank` of a `world`-replica cluster on
+// the device model of fleet slot `slot`. Under plain DDP slot == rank; the
+// elastic plane keeps slot stable across re-sharding so a surviving
+// replica stays on its own (possibly heterogeneous) device model.
+type SlotReplicaFactory func(slot, rank, world int) (models.Workload, *models.Env)
+
+// DDPSlotFactory returns the slot-aware replica builder for cfg's
+// workload: the heterogeneous-fleet generalization of DDPFactory. Every
+// device config the fleet can reach is validated up front, so the factory
+// itself never fails.
+func DDPSlotFactory(cfg RunConfig) (SlotReplicaFactory, error) {
 	cfg.defaults()
 	spec, err := Lookup(cfg.Workload)
 	if err != nil {
@@ -394,18 +433,27 @@ func DDPFactory(cfg RunConfig) (ddp.ReplicaFactory, error) {
 	if err != nil {
 		return nil, err
 	}
-	devCfg, err := gpu.Preset(cfg.GPU)
-	if err != nil {
-		return nil, err
+	// Resolve every reachable device config now: one per declared slot, or
+	// the single shared preset.
+	slots := len(cfg.Devices)
+	if slots == 0 {
+		slots = 1
 	}
-	devCfg.MaxSampledWarps = cfg.SampledWarps
-	devCfg.HalfPrecision = cfg.HalfPrecision
-	devCfg.BypassL1 = cfg.BypassL1
-	if cfg.HBMGB > 0 {
-		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
+	devCfgs := make([]gpu.Config, slots)
+	for i := range devCfgs {
+		if devCfgs[i], err = cfg.DeviceConfig(i); err != nil {
+			return nil, err
+		}
 	}
 
-	return func(rank, world int) (models.Workload, *models.Env) {
+	return func(slot, rank, world int) (models.Workload, *models.Env) {
+		devCfg := devCfgs[0]
+		if len(cfg.Devices) > 0 {
+			if slot < 0 || slot >= len(devCfgs) {
+				panic(fmt.Sprintf("core: fleet slot %d outside the %d declared devices", slot, len(devCfgs)))
+			}
+			devCfg = devCfgs[slot]
+		}
 		dev := gpu.New(devCfg)
 		if cfg.OnDevice != nil {
 			cfg.OnDevice(dev)
@@ -422,6 +470,20 @@ func DDPFactory(cfg RunConfig) (ddp.ReplicaFactory, error) {
 		// the device clock before training, and the timeline starts at 0.
 		env.E.EnablePipeline(cfg.PipelineDepth, cfg.CompressH2D)
 		return w, env
+	}, nil
+}
+
+// DDPFactory returns the per-rank replica builder for cfg's workload —
+// the factory RunDDP, the elastic fault harness (ddp.RunElastic), and the
+// goodput-under-churn study all share. Ranks map to fleet slots
+// one-to-one (slot = rank).
+func DDPFactory(cfg RunConfig) (ddp.ReplicaFactory, error) {
+	slotFactory, err := DDPSlotFactory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(rank, world int) (models.Workload, *models.Env) {
+		return slotFactory(rank, rank, world)
 	}, nil
 }
 

@@ -31,15 +31,19 @@ func PartitionedFactory(cfg RunConfig, partition func(g *graph.CSR, k int) ([]in
 	if dataset == "" {
 		dataset = spec.Datasets[0]
 	}
-	devCfg, err := gpu.Preset(cfg.GPU)
-	if err != nil {
-		return nil, err
+	// Resolve every reachable device config up front: one per declared
+	// fleet slot (rank = slot under the partitioned plane), or the single
+	// shared preset.
+	slots := len(cfg.Devices)
+	if slots == 0 {
+		slots = 1
 	}
-	devCfg.MaxSampledWarps = cfg.SampledWarps
-	devCfg.HalfPrecision = cfg.HalfPrecision
-	devCfg.BypassL1 = cfg.BypassL1
-	if cfg.HBMGB > 0 {
-		devCfg.HBMBytes = int64(cfg.HBMGB * (1 << 30))
+	devCfgs := make([]gpu.Config, slots)
+	for i := range devCfgs {
+		var err error
+		if devCfgs[i], err = cfg.DeviceConfig(i); err != nil {
+			return nil, err
+		}
 	}
 	be, err := backend.New(cfg.Backend)
 	if err != nil {
@@ -54,6 +58,13 @@ func PartitionedFactory(cfg RunConfig, partition func(g *graph.CSR, k int) ([]in
 	}
 
 	return func(rank, world int) (models.PartWorkload, *models.Env, *gpu.Device) {
+		devCfg := devCfgs[0]
+		if len(cfg.Devices) > 0 {
+			if rank >= len(devCfgs) {
+				panic(fmt.Sprintf("core: partitioned rank %d outside the %d declared devices", rank, len(devCfgs)))
+			}
+			devCfg = devCfgs[rank]
+		}
 		dev := gpu.New(devCfg)
 		if cfg.OnDevice != nil {
 			cfg.OnDevice(dev)

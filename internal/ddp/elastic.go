@@ -62,6 +62,13 @@ type ElasticOptions struct {
 	// ReplacementDelaySeconds is the fleet-time cost of one fail-stop
 	// recovery (provisioning a replacement node). 0 = default.
 	ReplacementDelaySeconds float64
+	// SlotFactory, when non-nil, supersedes the plain factory for replica
+	// construction: it receives the replica's fleet SLOT (the original
+	// device index, stable across re-sharding) alongside its round-local
+	// rank and world. Heterogeneous fleets use it to keep every surviving
+	// replica on its own device model no matter how ranks are renumbered
+	// after a recovery.
+	SlotFactory func(slot, rank, world int) (models.Workload, *models.Env)
 	// CheckpointPath, when set, persists epoch checkpoints through the
 	// crash-safe nn.SaveTrainingFile path instead of keeping them in
 	// memory only.
@@ -166,8 +173,15 @@ func RunElastic(factory ReplicaFactory, world, epochs int, opts ElasticOptions) 
 		// checkpoint, so all ranks resume from identical optimizer state.
 		var roundReps []models.Workload
 		roundWorld := len(alive)
+		roundSlots := append([]int(nil), alive...)
 		wrapped := func(rank, w int) (models.Workload, *models.Env) {
-			wl, env := factory(rank, w)
+			var wl models.Workload
+			var env *models.Env
+			if opts.SlotFactory != nil {
+				wl, env = opts.SlotFactory(roundSlots[rank], rank, w)
+			} else {
+				wl, env = factory(rank, w)
+			}
 			if ckpt != nil {
 				cp, ok := wl.(models.Checkpointable)
 				if !ok {

@@ -156,7 +156,32 @@ func A100() Config {
 	return c
 }
 
-// Preset returns a named device configuration ("v100", "p100", "a100").
+// H100 returns an H100-SXM5-80GB (Hopper) model: the widest SMs of the
+// family (128 fp32 lanes each), a 50 MB L2, HBM3 at 3.35 TB/s, and fourth-
+// generation NVLink — the heterogeneous-fleet scenarios' fast tier, after
+// Ju et al.'s argument that GNN characterization should span device
+// generations rather than pin itself to the V100.
+func H100() Config {
+	c := V100()
+	c.Name = "H100-SXM5-80GB"
+	c.NumSMs = 132
+	c.ClockGHz = 1.83
+	c.FP32LanesPerSM = 128
+	c.IssueLanesPerSM = 256
+	c.L1SizeKB = 256
+	c.L2SizeKB = 51200
+	c.DRAMBandwidthGBps = 3350
+	c.L2BandwidthGBps = 7000
+	c.DRAMLatencyCycles = 800
+	c.PCIeBandwidthGBps = 55 // PCIe Gen5 x16
+	c.NVLinkBandwidthGBps = 900
+	c.NVLinkLatencyUS = 1.5
+	c.HBMBytes = 80 << 30
+	return c
+}
+
+// Preset returns a named device configuration ("v100", "p100", "a100",
+// "h100").
 func Preset(name string) (Config, error) {
 	switch name {
 	case "", "v100":
@@ -165,9 +190,14 @@ func Preset(name string) (Config, error) {
 		return P100(), nil
 	case "a100":
 		return A100(), nil
+	case "h100":
+		return H100(), nil
 	}
 	return Config{}, errConfig("unknown GPU preset " + name)
 }
+
+// PresetNames lists the selectable device presets in generation order.
+func PresetNames() []string { return []string{"p100", "v100", "a100", "h100"} }
 
 // PeakGFLOPS returns the theoretical fp32 peak in GFLOPS (FMA counts as two
 // floating-point operations).

@@ -393,7 +393,7 @@ func BenchmarkLaunchStreaming(b *testing.B) {
 }
 
 func TestGPUPresets(t *testing.T) {
-	for _, name := range []string{"", "v100", "p100", "a100"} {
+	for _, name := range []string{"", "v100", "p100", "a100", "h100"} {
 		cfg, err := Preset(name)
 		if err != nil {
 			t.Fatalf("preset %q: %v", name, err)
@@ -402,18 +402,18 @@ func TestGPUPresets(t *testing.T) {
 			t.Fatalf("preset %q invalid: %v", name, err)
 		}
 	}
-	if _, err := Preset("h100"); err == nil {
+	if _, err := Preset("k80"); err == nil {
 		t.Fatal("unknown preset must error")
 	}
 	// Generational ordering of the headline capabilities.
-	p, v, a := P100(), V100(), A100()
-	if !(p.PeakGFLOPS() < v.PeakGFLOPS() && v.PeakGFLOPS() < a.PeakGFLOPS()) {
+	p, v, a, h := P100(), V100(), A100(), H100()
+	if !(p.PeakGFLOPS() < v.PeakGFLOPS() && v.PeakGFLOPS() < a.PeakGFLOPS() && a.PeakGFLOPS() < h.PeakGFLOPS()) {
 		t.Fatal("peak FLOPS not ordered across generations")
 	}
-	if !(p.DRAMBandwidthGBps < v.DRAMBandwidthGBps && v.DRAMBandwidthGBps < a.DRAMBandwidthGBps) {
+	if !(p.DRAMBandwidthGBps < v.DRAMBandwidthGBps && v.DRAMBandwidthGBps < a.DRAMBandwidthGBps && a.DRAMBandwidthGBps < h.DRAMBandwidthGBps) {
 		t.Fatal("bandwidth not ordered across generations")
 	}
-	if !(p.L2SizeKB < v.L2SizeKB && v.L2SizeKB < a.L2SizeKB) {
+	if !(p.L2SizeKB < v.L2SizeKB && v.L2SizeKB < a.L2SizeKB && a.L2SizeKB <= h.L2SizeKB) {
 		t.Fatal("L2 capacity not ordered across generations")
 	}
 }

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AssertionError is the typed failure every unmet assertion surfaces: the
+// assertion's kind and declaring line, and what the run actually measured.
+// The CLI exits non-zero on it, naming the assertion.
+type AssertionError struct {
+	Scenario string
+	Kind     string
+	Line     int
+	Detail   string
+}
+
+// Error names the failed assertion and the measured reality.
+func (e *AssertionError) Error() string {
+	return fmt.Sprintf("scenario %s: assertion %s failed (line %d): %s",
+		e.Scenario, e.Kind, e.Line, e.Detail)
+}
+
+// Run executes the scenario and checks every assertion against the
+// outcome. A scenario that fails a run-level invariant (unexpected OOM or
+// abort) or any declared assertion returns the outcome alongside a
+// *AssertionError. rerun-digest assertions execute the scenario a second
+// time from scratch and require byte-identical digests.
+func Run(sc *Scenario) (*Outcome, error) {
+	out, err := Execute(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	expectsOOM, expectsAbort := false, false
+	for _, a := range sc.Assertions {
+		switch a.Kind {
+		case AssertExpectOOM:
+			expectsOOM = true
+		case AssertExpectAbort:
+			expectsAbort = true
+		}
+	}
+	// Run-level invariants: a failure nobody declared fails the scenario
+	// even with no assertions at all.
+	if out.OOM && !expectsOOM {
+		return out, &AssertionError{Scenario: sc.Name, Kind: "unexpected-oom", Line: 1,
+			Detail: out.FailMsg}
+	}
+	if out.Aborted && !expectsAbort {
+		return out, &AssertionError{Scenario: sc.Name, Kind: "unexpected-abort", Line: 1,
+			Detail: out.FailMsg}
+	}
+
+	for _, a := range sc.Assertions {
+		if err := checkAssertion(sc, a, out); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// checkAssertion evaluates one assertion against the outcome.
+func checkAssertion(sc *Scenario, a Assertion, out *Outcome) error {
+	fail := func(format string, args ...any) error {
+		return &AssertionError{Scenario: sc.Name, Kind: a.Kind, Line: a.Line,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	switch a.Kind {
+	case AssertRerunDigest:
+		rerun, err := Execute(sc)
+		if err != nil {
+			return fail("rerun failed: %v", err)
+		}
+		if rerun.Digest != out.Digest {
+			return fail("rerun digest %s != first run %s (nondeterminism)", rerun.Digest, out.Digest)
+		}
+	case AssertDigest:
+		if out.Digest != a.Text {
+			return fail("digest %s, want %s", out.Digest, a.Text)
+		}
+	case AssertEpochSecondsMax:
+		mean := meanEpochSeconds(out)
+		if mean > a.Value {
+			return fail("mean epoch %.6fs exceeds bound %.6fs", mean, a.Value)
+		}
+	case AssertTotalSecondsMax:
+		if out.TotalSeconds > a.Value {
+			return fail("total %.6fs exceeds bound %.6fs", out.TotalSeconds, a.Value)
+		}
+	case AssertLossMax:
+		if len(out.Losses) == 0 {
+			return fail("no epochs completed, no loss to bound")
+		}
+		if last := out.Losses[len(out.Losses)-1]; last > a.Value {
+			return fail("final loss %.6f exceeds bound %.6f", last, a.Value)
+		}
+	case AssertCompletedMin:
+		if float64(out.CompletedEpochs) < a.Value {
+			return fail("completed %d epoch(s), want >= %.0f", out.CompletedEpochs, a.Value)
+		}
+	case AssertGoodputMin:
+		if out.Goodput < a.Value {
+			return fail("goodput %.4f below %.4f", out.Goodput, a.Value)
+		}
+	case AssertRecoveryDeadln:
+		if out.Recoveries == 0 {
+			return fail("no recoveries happened; deadline unmeasurable (schedule a fatal event)")
+		}
+		mean := out.OverheadSeconds / float64(out.Recoveries)
+		if mean > a.Value {
+			return fail("mean recovery overhead %.3fs exceeds deadline %.3fs", mean, a.Value)
+		}
+	case AssertRecoveriesMin:
+		if float64(out.Recoveries) < a.Value {
+			return fail("%d recovery(ies), want >= %.0f", out.Recoveries, a.Value)
+		}
+	case AssertSurvivorsMin:
+		if float64(len(out.Survivors)) < a.Value {
+			return fail("%d survivor(s) %v, want >= %.0f", len(out.Survivors), out.Survivors, a.Value)
+		}
+	case AssertMetricMax, AssertMetricMin:
+		v, ok := lookupMetric(out, a.Metric)
+		if !ok {
+			return fail("metric %q not recorded this run", a.Metric)
+		}
+		if a.Kind == AssertMetricMax && v > a.Value {
+			return fail("metric %s = %.0f exceeds bound %.0f", a.Metric, v, a.Value)
+		}
+		if a.Kind == AssertMetricMin && v < a.Value {
+			return fail("metric %s = %.0f below %.0f", a.Metric, v, a.Value)
+		}
+	case AssertExpectOOM:
+		if !out.OOM {
+			return fail("run completed without the expected OOM")
+		}
+	case AssertExpectAbort:
+		if !out.Aborted {
+			return fail("run completed without the expected abort")
+		}
+		if !strings.Contains(out.FailMsg, a.Text) {
+			return fail("abort %q does not mention %q", out.FailMsg, a.Text)
+		}
+	case AssertServeQPSMin:
+		s := out.Serve
+		if s == nil {
+			return fail("no serving phase ran")
+		}
+		if s.QPS < a.Value {
+			return fail("serving qps %.0f below %.0f", s.QPS, a.Value)
+		}
+	case AssertServeP99MaxUS:
+		s := out.Serve
+		if s == nil {
+			return fail("no serving phase ran")
+		}
+		if p99 := s.P99 * 1e6; p99 > a.Value {
+			return fail("serving p99 %.2fus exceeds bound %.2fus", p99, a.Value)
+		}
+	case AssertServeRejectMax:
+		s := out.Serve
+		if s == nil {
+			return fail("no serving phase ran")
+		}
+		if float64(s.Rejected) > a.Value {
+			return fail("%d rejected request(s), want <= %.0f", s.Rejected, a.Value)
+		}
+	case AssertServeHitRateMin:
+		s := out.Serve
+		if s == nil {
+			return fail("no serving phase ran")
+		}
+		if hr := s.HitRate(); hr < a.Value {
+			return fail("cache hit rate %.3f below %.3f", hr, a.Value)
+		}
+	default:
+		return fail("unknown assertion kind")
+	}
+	return nil
+}
+
+// meanEpochSeconds returns the run's mean kept-epoch time: per-epoch data
+// when the plane records it, the elastic useful-time average otherwise.
+func meanEpochSeconds(out *Outcome) float64 {
+	if len(out.EpochSeconds) > 0 {
+		sum := 0.0
+		for _, s := range out.EpochSeconds {
+			sum += s
+		}
+		return sum / float64(len(out.EpochSeconds))
+	}
+	if out.CompletedEpochs > 0 {
+		return out.UsefulSeconds / float64(out.CompletedEpochs)
+	}
+	return 0
+}
+
+// lookupMetric resolves an obs metric by name: counters and gauges by
+// value, histograms by count.
+func lookupMetric(out *Outcome, name string) (float64, bool) {
+	for _, c := range out.Metrics.Counters {
+		if c.Name == name {
+			return float64(c.Value), true
+		}
+	}
+	for _, g := range out.Metrics.Gauges {
+		if g.Name == name {
+			return float64(g.Value), true
+		}
+	}
+	for _, h := range out.Metrics.Histograms {
+		if h.Name == name {
+			return float64(h.Count), true
+		}
+	}
+	return 0, false
+}

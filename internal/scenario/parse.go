@@ -1,0 +1,505 @@
+// Package scenario is the declarative chaos harness of the suite: a
+// zero-dependency DSL that declares a device fleet, a workload mix, timed
+// health/traffic events, and assertions on the outcome, plus an executor
+// that compiles a parsed scenario onto the existing planes (single-device
+// core runs, elastic DDP, partitioned training, and the inference serving
+// plane) in one deterministic discrete-event run. Scenario files turn every
+// subsystem built so far into reviewable coverage: new cross-plane cases
+// are YAML diffs, not Go code.
+//
+// The file format is a strict subset of YAML, parsed by hand so the repo
+// stays dependency-free: scalars, nested mappings, and lists of scalars or
+// mappings. Indentation is spaces only, keys are [A-Za-z0-9_-]+, strings
+// may be double-quoted, and `#` starts a comment. Everything the full YAML
+// spec layers on top — anchors, flow style, multi-document streams, tag
+// coercion — is rejected, loudly, with the offending line number. Every
+// parse failure is a *ParseError; the parser never panics on any input
+// (fuzzed by FuzzParseScenario).
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is the typed error every malformed scenario surfaces: the
+// file (when known), the 1-based line, and what went wrong there.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Error renders "file:line: msg" (or "line N: msg" without a file).
+func (e *ParseError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// errf builds a *ParseError at the given line.
+func errf(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// nodeKind discriminates the parse-tree node types.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+// node is one value of the parse tree. Maps keep key order for
+// deterministic error reporting; every node carries the line it started on
+// so the decode layer can blame precise locations.
+type node struct {
+	line     int
+	kind     nodeKind
+	scalar   string // scalarNode: raw text (unquoted)
+	quoted   bool   // scalarNode: came from a double-quoted literal
+	keys     []string
+	children map[string]*node // mapNode
+	items    []*node          // listNode
+}
+
+// line source line after comment stripping.
+type srcLine struct {
+	num    int
+	indent int
+	text   string // trimmed content, non-empty
+}
+
+// splitLines tokenizes the document into significant lines, rejecting tabs
+// in indentation.
+func splitLines(src string) ([]srcLine, *ParseError) {
+	var out []srcLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		line := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		rest := line[indent:]
+		if rest == "" {
+			continue
+		}
+		if rest[0] == '\t' || strings.Contains(line[:indent], "\t") {
+			return nil, errf(num, "tab in indentation (spaces only)")
+		}
+		rest = stripComment(rest)
+		rest = strings.TrimRight(rest, " ")
+		if rest == "" {
+			continue
+		}
+		out = append(out, srcLine{num: num, indent: indent, text: rest})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `#` comment, respecting double quotes.
+// A `#` only opens a comment at the start of the line content or after a
+// space, matching YAML.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if inQuote {
+				continue
+			}
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parser walks the significant lines by indentation level.
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+// Parse parses a scenario document into its typed form. Structural errors
+// (syntax, unknown or duplicate keys, type mismatches) are *ParseError
+// values carrying the offending line; the input is never executed and the
+// parser never panics.
+func Parse(src string) (*Scenario, error) {
+	root, err := parseTree(src)
+	if err != nil {
+		return nil, err
+	}
+	return decodeScenario(root)
+}
+
+// ParseNamed is Parse with a file name stamped onto any error.
+func ParseNamed(name, src string) (*Scenario, error) {
+	sc, err := Parse(src)
+	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			pe.File = name
+		}
+		return nil, err
+	}
+	return sc, nil
+}
+
+// parseTree parses the raw node tree.
+func parseTree(src string) (*node, *ParseError) {
+	lines, perr := splitLines(src)
+	if perr != nil {
+		return nil, perr
+	}
+	if len(lines) == 0 {
+		return nil, errf(1, "empty scenario document")
+	}
+	if lines[0].indent != 0 {
+		return nil, errf(lines[0].num, "document must start at column 0")
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, errf(p.lines[p.pos].num, "unexpected dedent/content after document")
+	}
+	if root.kind != mapNode {
+		return nil, errf(lines[0].num, "top level must be a mapping")
+	}
+	return root, nil
+}
+
+// parseBlock parses the run of lines at exactly the given indent into one
+// mapping or list node.
+func (p *parser) parseBlock(indent int) (*node, *ParseError) {
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *parser) parseMap(indent int) (*node, *ParseError) {
+	n := &node{line: p.lines[p.pos].num, kind: mapNode, children: map[string]*node{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break // dedent: parent's turn
+		}
+		if ln.indent > indent {
+			return nil, errf(ln.num, "unexpected indent (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, errf(ln.num, "list item in a mapping block")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, errf(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		var child *node
+		if rest != "" {
+			child = &node{line: ln.num, kind: scalarNode}
+			child.scalar, child.quoted, err = unquote(ln.num, rest)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Block value: the next line must be further indented.
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, errf(ln.num, "key %q has no value", key)
+			}
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = child
+	}
+	return n, nil
+}
+
+func (p *parser) parseList(indent int) (*node, *ParseError) {
+	n := &node{line: p.lines[p.pos].num, kind: listNode}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, errf(ln.num, "unexpected indent (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, errf(ln.num, "expected a list item (\"- ...\") at this indent")
+		}
+		if ln.text == "-" {
+			return nil, errf(ln.num, "empty list item")
+		}
+		body := ln.text[2:]
+		if body == "" {
+			return nil, errf(ln.num, "empty list item")
+		}
+		// The item body starts two columns in; rewrite the current line as
+		// the item's first line and parse the item as a block at that
+		// indent (a scalar, or a mapping whose later keys align under it).
+		itemIndent := ln.indent + 2
+		p.lines[p.pos] = srcLine{num: ln.num, indent: itemIndent, text: body}
+		if isKeyLine(body) {
+			item, err := p.parseMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		// Scalar item.
+		p.pos++
+		item := &node{line: ln.num, kind: scalarNode}
+		var err *ParseError
+		item.scalar, item.quoted, err = unquote(ln.num, body)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// isKeyLine reports whether a list-item body opens a mapping ("key: ..."
+// or "key:").
+func isKeyLine(body string) bool {
+	_, _, err := splitKey(srcLine{num: 1, text: body})
+	return err == nil
+}
+
+// splitKey splits "key: value" / "key:" returning the key and remaining
+// value text ("" for a block value).
+func splitKey(ln srcLine) (key, rest string, err *ParseError) {
+	i := strings.Index(ln.text, ":")
+	if i < 0 {
+		return "", "", errf(ln.num, "expected \"key: value\"")
+	}
+	key = ln.text[:i]
+	if key == "" || !validKey(key) {
+		return "", "", errf(ln.num, "invalid key %q (want [A-Za-z0-9_-]+)", key)
+	}
+	rest = ln.text[i+1:]
+	if rest != "" {
+		if rest[0] != ' ' {
+			return "", "", errf(ln.num, "missing space after %q:", key)
+		}
+		rest = strings.TrimLeft(rest, " ")
+	}
+	return key, rest, nil
+}
+
+func validKey(k string) bool {
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// unquote resolves a scalar literal: a double-quoted string (no escapes
+// beyond \" and \\) or bare text.
+func unquote(line int, s string) (val string, quoted bool, err *ParseError) {
+	if !strings.HasPrefix(s, "\"") {
+		if strings.Contains(s, "\"") {
+			return "", false, errf(line, "unexpected quote inside bare scalar %q", s)
+		}
+		return s, false, nil
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' {
+			if i+1 >= len(s) {
+				return "", false, errf(line, "dangling escape in string literal")
+			}
+			next := s[i+1]
+			if next != '"' && next != '\\' {
+				return "", false, errf(line, "unsupported escape \\%c", next)
+			}
+			b.WriteByte(next)
+			i += 2
+			continue
+		}
+		if c == '"' {
+			if i != len(s)-1 {
+				return "", false, errf(line, "trailing content after closing quote")
+			}
+			return b.String(), true, nil
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", false, errf(line, "unterminated string literal")
+}
+
+// ---- typed accessors (decode layer) ----
+
+// wantScalar asserts the node is a scalar, naming what was expected.
+func (n *node) wantScalar(what string) (*node, *ParseError) {
+	if n.kind != scalarNode {
+		return nil, errf(n.line, "%s must be a scalar value", what)
+	}
+	return n, nil
+}
+
+func (n *node) asString(what string) (string, *ParseError) {
+	s, err := n.wantScalar(what)
+	if err != nil {
+		return "", err
+	}
+	return s.scalar, nil
+}
+
+func (n *node) asInt(what string) (int, *ParseError) {
+	s, err := n.wantScalar(what)
+	if err != nil {
+		return 0, err
+	}
+	if s.quoted {
+		return 0, errf(n.line, "%s must be an integer, got a string", what)
+	}
+	v, convErr := strconv.Atoi(s.scalar)
+	if convErr != nil {
+		return 0, errf(n.line, "%s must be an integer, got %q", what, s.scalar)
+	}
+	return v, nil
+}
+
+func (n *node) asFloat(what string) (float64, *ParseError) {
+	s, err := n.wantScalar(what)
+	if err != nil {
+		return 0, err
+	}
+	if s.quoted {
+		return 0, errf(n.line, "%s must be a number, got a string", what)
+	}
+	v, convErr := strconv.ParseFloat(s.scalar, 64)
+	if convErr != nil {
+		return 0, errf(n.line, "%s must be a number, got %q", what, s.scalar)
+	}
+	return v, nil
+}
+
+func (n *node) asBool(what string) (bool, *ParseError) {
+	s, err := n.wantScalar(what)
+	if err != nil {
+		return false, err
+	}
+	switch s.scalar {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, errf(n.line, "%s must be true or false, got %q", what, s.scalar)
+}
+
+// mapDecoder walks one mapping's keys, tracking which were consumed so
+// unknown keys fail with their own line numbers.
+type mapDecoder struct {
+	n    *node
+	what string
+	used map[string]bool
+	err  *ParseError
+}
+
+func newMapDecoder(n *node, what string) (*mapDecoder, *ParseError) {
+	if n.kind != mapNode {
+		return nil, errf(n.line, "%s must be a mapping", what)
+	}
+	return &mapDecoder{n: n, what: what, used: map[string]bool{}}, nil
+}
+
+// get returns the named child (nil if absent), marking it consumed.
+func (d *mapDecoder) get(key string) *node {
+	c := d.n.children[key]
+	if c != nil {
+		d.used[key] = true
+	}
+	return c
+}
+
+// fail latches the first error.
+func (d *mapDecoder) fail(err *ParseError) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
+// str/intval/floatval/boolval decode optional fields into targets,
+// latching errors; absent keys leave the target untouched.
+func (d *mapDecoder) str(key string, dst *string) {
+	if c := d.get(key); c != nil && d.err == nil {
+		v, err := c.asString(d.what + "." + key)
+		d.fail(err)
+		if err == nil {
+			*dst = v
+		}
+	}
+}
+
+func (d *mapDecoder) intval(key string, dst *int) {
+	if c := d.get(key); c != nil && d.err == nil {
+		v, err := c.asInt(d.what + "." + key)
+		d.fail(err)
+		if err == nil {
+			*dst = v
+		}
+	}
+}
+
+func (d *mapDecoder) floatval(key string, dst *float64) {
+	if c := d.get(key); c != nil && d.err == nil {
+		v, err := c.asFloat(d.what + "." + key)
+		d.fail(err)
+		if err == nil {
+			*dst = v
+		}
+	}
+}
+
+func (d *mapDecoder) boolval(key string, dst *bool) {
+	if c := d.get(key); c != nil && d.err == nil {
+		v, err := c.asBool(d.what + "." + key)
+		d.fail(err)
+		if err == nil {
+			*dst = v
+		}
+	}
+}
+
+// finish reports the latched error, or the first unconsumed (unknown) key.
+func (d *mapDecoder) finish() *ParseError {
+	if d.err != nil {
+		return d.err
+	}
+	for _, k := range d.n.keys {
+		if !d.used[k] {
+			return errf(d.n.children[k].line, "unknown key %q in %s", k, d.what)
+		}
+	}
+	return nil
+}

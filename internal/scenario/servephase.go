@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"gnnmark/internal/backend"
+	"gnnmark/internal/core"
+	"gnnmark/internal/fault"
+	"gnnmark/internal/gpu"
+	"gnnmark/internal/models"
+	"gnnmark/internal/ops"
+	"gnnmark/internal/serve"
+)
+
+// Serving-phase defaults. Rates and horizons are expressed relative to the
+// measured batch-1 service time d1, so scenario files stay meaningful as
+// the device model's absolute timings evolve.
+const (
+	defaultServeReplicas = 2
+	defaultServeMaxBatch = 8
+	defaultServeQueueCap = 64
+	defaultLoadFactor    = 1.0
+	defaultDurationFac   = 200.0
+	defaultMaxWaitFactor = 1.0
+)
+
+// resolved fills in the spec's defaults.
+func (s ServeSpec) resolved() ServeSpec {
+	if s.Replicas == 0 {
+		s.Replicas = defaultServeReplicas
+	}
+	if s.MaxBatch == 0 {
+		s.MaxBatch = defaultServeMaxBatch
+	}
+	if s.QueueCap == 0 {
+		s.QueueCap = defaultServeQueueCap
+	} else if s.QueueCap < 0 {
+		s.QueueCap = 0 // unbounded
+	}
+	if s.LoadFactor == 0 {
+		s.LoadFactor = defaultLoadFactor
+	}
+	if s.DurationFactor == 0 {
+		s.DurationFactor = defaultDurationFac
+	}
+	if s.MaxWaitFactor == 0 {
+		s.MaxWaitFactor = defaultMaxWaitFactor
+	}
+	return s
+}
+
+// runServe freezes the trained weights and drives the serving phase:
+// calibrate the batch-1 service time on a cold replica, generate the open
+// arrival trace (with any serve-burst events superposed), fan the frozen
+// weights out to per-slot replicas (replica i serves on the device model of
+// fleet slot i mod world, so heterogeneous fleets serve heterogeneously),
+// and run the discrete-event server.
+func (sc *Scenario) runServe(cfg core.RunConfig, slots []gpu.Config, out *Outcome) error {
+	if out.trained == nil {
+		return fmt.Errorf("scenario: no trained replica survived to serve")
+	}
+	sv, ok := out.trained.(models.Servable)
+	if !ok {
+		return fmt.Errorf("scenario: workload %s does not serve embeddings", out.trained.Name())
+	}
+	weights := serve.FreezeParams(sv.Params())
+	items := sv.NumItems()
+	spec := sc.Serve.resolved()
+
+	be, err := backend.New(cfg.Backend)
+	if err != nil {
+		return err
+	}
+	buildReplica := func(r int) (models.Servable, *models.Env, *gpu.Device, error) {
+		devCfg, err := cfg.DeviceConfig(r % len(slots))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		dev := gpu.New(devCfg)
+		env := models.NewEnv(ops.NewWith(dev, be), cfg.Seed)
+		wl, err := buildGuarded(cfg, env)
+		if err != nil {
+			env.Close()
+			return nil, nil, nil, err
+		}
+		m, ok := wl.(models.Servable)
+		if !ok {
+			env.Close()
+			return nil, nil, nil, fmt.Errorf("scenario: workload %s does not serve embeddings", wl.Name())
+		}
+		if err := weights.LoadInto(m.Params()); err != nil {
+			env.Close()
+			return nil, nil, nil, err
+		}
+		// Serving measures the forward passes only: rebase the clock past
+		// construction so burst windows and throttle events are phase-
+		// relative.
+		dev.ResetClock()
+		return m, env, dev, nil
+	}
+
+	// Calibration: one cold replica, one batch-1 request.
+	calM, calEnv, _, err := buildReplica(0)
+	if err != nil {
+		return err
+	}
+	cal := serve.NewReplica(0, calM, calEnv.E.SimClock)
+	_, d1, serveErr := cal.Serve([]int32{0})
+	cal.Close()
+	calEnv.Close()
+	if serveErr != nil {
+		return serveErr
+	}
+	out.ServeBatchOneSeconds = d1
+
+	qps := spec.LoadFactor * float64(spec.Replicas) / d1
+	duration := spec.DurationFactor * d1
+	reqs := serve.OpenArrivals(serve.LoadConfig{
+		Seed: sc.Seed, QPS: qps, Duration: duration, Items: items,
+	})
+
+	// Superpose serve-burst events: each adds an independent Poisson
+	// process at (factor-1) x the base rate inside its window, so the
+	// merged trace bursts to factor x qps there.
+	burstIdx := 0
+	for _, ev := range sc.Events {
+		if ev.Plane != PlaneServe || ev.Type != EvServeBurst {
+			continue
+		}
+		burstIdx++
+		extra := serve.OpenArrivals(serve.LoadConfig{
+			Seed:     sc.Seed + int64(burstIdx),
+			QPS:      (ev.Factor - 1) * qps,
+			Duration: ev.DurationFrac * duration,
+			Items:    items,
+		})
+		for _, r := range extra {
+			r.Time += ev.AtFrac * duration
+			reqs = append(reqs, r)
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
+	for i := range reqs {
+		reqs[i].Seq = i
+	}
+
+	// Build the serving pool; serve-plane thermal throttles attach to their
+	// replica's device (firing on its accumulated busy time).
+	reps := make([]*serve.Replica, 0, spec.Replicas)
+	envs := make([]*models.Env, 0, spec.Replicas)
+	defer func() {
+		for _, r := range reps {
+			r.Close()
+		}
+		for _, e := range envs {
+			e.Close()
+		}
+	}()
+	for r := 0; r < spec.Replicas; r++ {
+		m, env, dev, err := buildReplica(r)
+		if err != nil {
+			return err
+		}
+		var throttles []fault.Event
+		for _, ev := range sc.Events {
+			if ev.Plane == PlaneServe && ev.Type == EvThermal && ev.Slot == r {
+				throttles = append(throttles, ev.faultEvent())
+			}
+		}
+		if len(throttles) > 0 {
+			dev.AttachHealth(fault.NewMonitor(throttles, true))
+		}
+		reps = append(reps, serve.NewReplica(r, m, env.E.SimClock))
+		envs = append(envs, env)
+	}
+
+	stats, err := serve.New(serve.Config{
+		Endpoint:       "scenario",
+		MaxBatch:       spec.MaxBatch,
+		MaxWaitSeconds: spec.MaxWaitFactor * d1,
+		QueueCap:       spec.QueueCap,
+		CacheRows:      spec.CacheRows,
+	}, reps).Run(serve.NewSliceSource(reqs))
+	if err != nil {
+		return err
+	}
+	out.Serve = &stats
+	return nil
+}
+
+// buildGuarded constructs cfg's workload on the given env, converting an
+// OOM panic into an error.
+func buildGuarded(cfg core.RunConfig, env *models.Env) (wl models.Workload, err error) {
+	spec, err := core.Lookup(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = spec.Datasets[0]
+	}
+	err = guard(func() { wl = spec.Build(env, dataset, 1) })
+	return wl, err
+}
